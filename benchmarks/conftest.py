@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper (or an
+ablation).  The rendered table is printed (visible with ``pytest -s``)
+and written under ``results/`` so a full run leaves the complete set of
+reproduced figures on disk.
+
+Set ``REPRO_QUICK=1`` to sweep 4 database sizes instead of the paper's
+10 — the shapes are identical, the run is ~3x faster.
+"""
+
+import pytest
+
+from repro.experiments.series import ExperimentSeries
+from repro.experiments.tables import render_table, write_result_file
+
+
+@pytest.fixture()
+def emit():
+    """Render, print, and persist an experiment series."""
+
+    def _emit(series: ExperimentSeries, x_format: str = "%d") -> str:
+        text = render_table(series, x_format=x_format)
+        print("\n" + text + "\n")
+        write_result_file(text, series.experiment_id + ".txt")
+        return text
+
+    return _emit

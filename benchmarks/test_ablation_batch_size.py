@@ -1,0 +1,30 @@
+"""Ablation — batch-size sweep for the §3.2 pipeline.
+
+The paper fixes batch = 100 and remarks that "the optimal chunk size
+will depend on the relative communication and computation speeds".
+This sweep maps that dependence: tiny batches pay per-message overhead,
+huge batches lose the overlap; a broad plateau of good sizes sits in
+between (which is why the paper's 100 works well without tuning).
+"""
+
+from repro.experiments import figures
+
+
+def test_ablation_batch_size(benchmark, emit):
+    series = benchmark.pedantic(
+        lambda: figures.ablation_batch_size(
+            batch_sizes=(1, 10, 100, 1_000, 10_000, 100_000), n=100_000
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    emit(series)
+
+    paper_choice = series.at(100)
+    whole_db = series.at(100_000)  # one batch = no pipelining
+    assert paper_choice.get("makespan") <= whole_db.get("makespan")
+    assert paper_choice.get("reduction_pct") > 7
+
+    # The plateau: everything from 10 to 10,000 is within a few percent.
+    plateau = [series.at(b).get("makespan") for b in (10, 100, 1_000, 10_000)]
+    assert max(plateau) / min(plateau) < 1.05

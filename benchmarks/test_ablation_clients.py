@@ -1,0 +1,30 @@
+"""Ablation — number of cooperating clients (k) for §3.5.
+
+The paper measures k = 3 and predicts "approximately a k-fold reduction
+in execution time".  This sweep verifies the trend and exposes the
+combining overhead that grows with k (the sequential ring of Figure 8).
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+
+def test_ablation_clients(benchmark, emit):
+    series = benchmark.pedantic(
+        lambda: figures.ablation_clients(client_counts=(2, 3, 4, 6, 8)),
+        iterations=1,
+        rounds=1,
+    )
+    emit(series, x_format="%d")
+
+    for point in series.points:
+        k = point.x
+        assert point.get("speedup") == pytest.approx(k, rel=0.1), (
+            "paper: approximately a k-fold reduction"
+        )
+
+    # The ring combination cost grows with k.
+    assert series.at(8).get("combine_overhead") > series.at(2).get(
+        "combine_overhead"
+    )

@@ -1,0 +1,79 @@
+"""Ablation — multiple distributed databases (the paper's §1 extension).
+
+"This protocol ... can easily be extended to work for multiple
+distributed databases."  We sweep the number of servers holding equal
+horizontal partitions: the client's encryption is unchanged (it still
+encrypts n index bits once), but the k server passes overlap, so the
+server-bound part of the runtime divides by k — the mirror image of the
+multi-client optimization, which divides the *client*-bound part.
+"""
+
+import pytest
+
+from repro.datastore.database import ServerDatabase
+from repro.datastore.workload import WorkloadGenerator
+from repro.experiments.environments import short_distance
+from repro.experiments.series import ExperimentSeries
+from repro.spfe.multidatabase import DistributedSelectedSumProtocol
+from repro.spfe.selected_sum import SelectedSumProtocol
+
+
+def run_sweep(n=100_000, server_counts=(2, 4, 8)):
+    generator = WorkloadGenerator("distributed-bench")
+    combined = generator.database(n)
+    selection = generator.random_selection(n, n // 100)
+    expected = combined.select_sum(selection)
+
+    series = ExperimentSeries(
+        experiment_id="ablation-distributed",
+        title="Distributed databases: k servers, equal partitions (n=%d)" % n,
+        x_label="servers",
+        unit="min",
+        columns=["makespan", "server_compute_per_server", "encrypt"],
+        notes="client encryption unchanged; server passes overlap",
+    )
+    single = SelectedSumProtocol(short_distance.context(seed="dd")).run(
+        combined, selection
+    )
+    single.verify(expected)
+    series.add(
+        1,
+        makespan=single.online_minutes(),
+        server_compute_per_server=single.breakdown.server_compute_s / 60,
+        encrypt=single.breakdown.client_encrypt_s / 60,
+    )
+    for k in server_counts:
+        size = n // k
+        partitions = [
+            ServerDatabase(combined.values[i * size : (i + 1) * size])
+            for i in range(k)
+        ]
+        result = DistributedSelectedSumProtocol(
+            short_distance.context(seed="dd%d" % k), hide_partials=True
+        ).run_distributed(partitions, selection)
+        result.verify(expected)
+        series.add(
+            k,
+            makespan=result.online_minutes(),
+            server_compute_per_server=result.breakdown.server_compute_s / 60 / k,
+            encrypt=result.breakdown.client_encrypt_s / 60,
+        )
+    return series
+
+
+def test_ablation_distributed(benchmark, emit):
+    series = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+    emit(series, x_format="%d")
+
+    base = series.at(1)
+    for k in (2, 4, 8):
+        point = series.at(k)
+        # Client encryption is invariant in the number of servers.
+        assert point.get("encrypt") == pytest.approx(base.get("encrypt"), rel=0.01)
+        # Each server's share of the pass shrinks with k.
+        assert point.get("server_compute_per_server") == pytest.approx(
+            base.get("server_compute_per_server") / k, rel=0.05
+        )
+        # Encryption dominates on the cluster, so the end-to-end win is
+        # modest — the point of this ablation is *where* the time goes.
+        assert point.get("makespan") <= base.get("makespan")

@@ -1,0 +1,89 @@
+"""Ablation — one-pass group-by (plaintext packing) vs g separate runs.
+
+A g-group private group-by costs g full selected-sum passes done
+naively; the packed protocol pays exactly one pass regardless of g (up
+to the key's plaintext capacity).  This bench maps the win and the
+capacity ceiling that ends it.
+"""
+
+import pytest
+
+from repro.datastore.workload import WorkloadGenerator
+from repro.exceptions import ProtocolError
+from repro.experiments.environments import short_distance
+from repro.experiments.series import ExperimentSeries
+from repro.spfe.grouped import GroupedSumProtocol
+from repro.spfe.selected_sum import SelectedSumProtocol
+
+
+def run_sweep(n=50_000, group_counts=(1, 2, 4, 8)):
+    generator = WorkloadGenerator("grouped-bench")
+    database = generator.database(n)
+    series = ExperimentSeries(
+        experiment_id="ablation-grouped",
+        title="Private group-by: packed single pass vs g naive passes (n=%d)" % n,
+        x_label="groups",
+        unit="min",
+        columns=["packed_one_pass", "naive_g_passes", "speedup"],
+        notes="packing bound: 512-bit keys fit ~9 groups of 32-bit sums here",
+    )
+    for g in group_counts:
+        groups = [i % g if i % 3 else None for i in range(n)]
+        packed = GroupedSumProtocol(
+            short_distance.context(seed="packed%d" % g)
+        ).run_grouped(database, groups, num_groups=g)
+
+        naive_total = 0.0
+        for j in range(g):
+            selection = [1 if gr == j else 0 for gr in groups]
+            naive_total += (
+                SelectedSumProtocol(short_distance.context(seed="naive%d.%d" % (g, j)))
+                .run(database, selection)
+                .makespan_s
+            )
+        series.add(
+            g,
+            packed_one_pass=packed.run.makespan_s / 60,
+            naive_g_passes=naive_total / 60,
+            speedup=naive_total / packed.run.makespan_s,
+        )
+    return series
+
+
+def test_ablation_grouped(benchmark, emit):
+    series = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+    emit(series, x_format="%d")
+
+    for point in series.points:
+        g = point.x
+        assert point.get("speedup") == pytest.approx(g, rel=0.05), (
+            "one pass replaces g passes"
+        )
+    # Packed cost is flat in g.
+    packed = series.column("packed_one_pass")
+    assert max(packed) / min(packed) < 1.02
+
+
+def test_grouped_capacity_ceiling(benchmark):
+    """The packing win ends where the key's plaintext space does."""
+
+    def probe():
+        generator = WorkloadGenerator("ceiling")
+        database = generator.database(1000)
+        fits = 0
+        for g in range(1, 16):
+            groups = [i % g for i in range(1000)]
+            try:
+                GroupedSumProtocol(
+                    short_distance.context(seed="c%d" % g)
+                ).run_grouped(database, groups, num_groups=g)
+                fits = g
+            except ProtocolError:
+                break
+        return fits
+
+    fits = benchmark.pedantic(probe, iterations=1, rounds=1)
+    # 512-bit keys, 32-bit values, 1000-row groups: ~12 groups fit
+    # (each digit needs ~42 bits).
+    print("\nmax groups packable under a 512-bit key here: %d" % fits)
+    assert 8 <= fits <= 13

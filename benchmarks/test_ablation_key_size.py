@@ -1,0 +1,33 @@
+"""Ablation — key-size sweep.
+
+The paper fixes 512-bit keys.  The model's scaling laws (encryption
+Θ(bits³), server step Θ(bits²), wire size Θ(bits)) show what that
+choice bought: 1024-bit keys would have made the unoptimized protocol
+~8x slower — hours, not minutes, on 2004 hardware.
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+
+def test_ablation_key_size(benchmark, emit):
+    series = benchmark.pedantic(
+        lambda: figures.ablation_key_size(key_sizes=(256, 512, 1024, 2048)),
+        iterations=1,
+        rounds=1,
+    )
+    emit(series)
+
+    enc = {p.x: p.get("client_encrypt") for p in series.points}
+    assert enc[1024] == pytest.approx(8 * enc[512], rel=0.02)  # cubic
+    assert enc[512] == pytest.approx(8 * enc[256], rel=0.02)
+
+    srv = {p.x: p.get("server_compute") for p in series.points}
+    assert srv[1024] == pytest.approx(4 * srv[512], rel=0.02)  # quadratic
+
+    comm = {p.x: p.get("communication") for p in series.points}
+    assert comm[1024] > comm[512] > comm[256]  # linear ciphertext growth
+
+    # 2048-bit keys at n=100k: multi-hour territory on the 2004 machine.
+    assert series.at(2048).get("total") > 8 * series.at(512).get("total")

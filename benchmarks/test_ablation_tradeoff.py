@@ -1,0 +1,38 @@
+"""Ablation — the §4 future-work privacy/performance tradeoff curve.
+
+Decoy-padded candidate supersets: runtime scales with the revealed
+superset size s, privacy (anonymity ratio m/s) degrades inversely.  The
+curve interpolates between the non-private baseline (factor 1) and the
+fully private protocol (superset = whole database).
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+
+def test_ablation_tradeoff(benchmark, emit):
+    series = benchmark.pedantic(
+        lambda: figures.ablation_tradeoff(
+            superset_factors=(1.0, 2.0, 4.0, 10.0, 100.0), n=100_000
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    emit(series, x_format="%.0f")
+
+    makespans = series.column("makespan")
+    assert makespans == sorted(makespans), "runtime grows with the superset"
+
+    anonymity = series.column("anonymity_ratio")
+    assert anonymity == sorted(anonymity, reverse=True), (
+        "privacy degrades as the superset shrinks"
+    )
+    assert series.at(1.0).get("anonymity_ratio") == 1.0  # no privacy
+    assert series.at(100.0).get("candidate_fraction") == pytest.approx(1.0), (
+        "factor 100 at m=n/100 covers the whole database: full privacy"
+    )
+
+    # The payoff: a 10x superset runs ~10x faster than full coverage.
+    speedup = series.at(100.0).get("makespan") / series.at(10.0).get("makespan")
+    assert 7 < speedup < 13

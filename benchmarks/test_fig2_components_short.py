@@ -1,0 +1,28 @@
+"""Figure 2 — runtime components, no optimizations, short distance.
+
+Paper claim: every component linear in n; client encryption dominates;
+~20 minutes total at n = 100,000; decryption constant and negligible.
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+
+def test_fig2_components_short(benchmark, emit):
+    series = benchmark.pedantic(figures.figure2, iterations=1, rounds=1)
+    emit(series)
+
+    last = series.final()
+    total = sum(last.get(c) for c in series.columns)
+    assert last.x == 100_000
+    assert 18 < total < 23, "paper: ~20 minutes at n=100,000"
+    assert last.get("client_encrypt") > 5 * last.get("server_compute")
+    assert last.get("server_compute") > last.get("communication")
+    assert last.get("client_decrypt") < 0.01
+
+    first = series.points[0]
+    scale = last.x / first.x
+    assert last.get("client_encrypt") == pytest.approx(
+        scale * first.get("client_encrypt"), rel=0.05
+    ), "components must be linear in n"

@@ -1,0 +1,26 @@
+"""Figure 3 — runtime components, no optimizations, long distance.
+
+Paper claim: over the 56 Kbps modem (Chicago client on a 500 MHz
+UltraSparc, Hoboken server on a 1 GHz Pentium), communication becomes a
+substantial component, but computation still dominates the runtime.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig3_components_long(benchmark, emit):
+    series = benchmark.pedantic(figures.figure3, iterations=1, rounds=1)
+    emit(series)
+
+    for point in series.points:
+        assert point.get("client_encrypt") > point.get("communication"), (
+            "paper: computation still prevails despite the modem"
+        )
+        assert point.get("communication") > point.get("server_compute"), (
+            "paper: the modem makes communication the second-largest share"
+        )
+
+    last = series.final()
+    assert last.get("communication") > 25, (
+        "13.6 MB over 56 Kbps is tens of minutes"
+    )

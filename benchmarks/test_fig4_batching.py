@@ -1,0 +1,18 @@
+"""Figure 4 — overall runtime with and without batching, short distance.
+
+Paper claim: batching the index vector in chunks of 100, with the three
+activities pipelined, cuts ~10% of the overall runtime.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig4_batching(benchmark, emit):
+    series = benchmark.pedantic(figures.figure4, iterations=1, rounds=1)
+    emit(series)
+
+    for point in series.points:
+        assert point.get("with_batching") < point.get("without_batching")
+        assert 7 < point.get("reduction_pct") < 13, (
+            "paper: approximately a 10%% reduction"
+        )

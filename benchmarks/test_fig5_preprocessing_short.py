@@ -1,0 +1,29 @@
+"""Figure 5 — components after preprocessing the index vector, short
+distance.
+
+Paper claim: with the encryptions precomputed offline, the client's
+online processing collapses to reading and sending stored ciphertexts;
+the server's computation becomes the dominant factor; the online
+runtime drops ~82% versus the unoptimized Figure 2.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig5_preprocessing_short(benchmark, emit):
+    series = benchmark.pedantic(figures.figure5, iterations=1, rounds=1)
+    emit(series)
+
+    for point in series.points:
+        assert point.get("server_compute") > point.get("client_encrypt"), (
+            "paper: the server's computation time becomes the dominant factor"
+        )
+        assert point.get("server_compute") > point.get("communication")
+
+    # Reduction vs the unoptimized protocol at the same largest size.
+    fig2 = figures.figure2(sizes=(series.final().x,))
+    before = sum(fig2.final().get(c) for c in fig2.columns)
+    after = sum(series.final().get(c) for c in series.columns)
+    reduction = 100 * (1 - after / before)
+    print("online reduction vs figure 2: %.1f%% (paper: ~82%%)" % reduction)
+    assert 75 < reduction < 92

@@ -1,0 +1,19 @@
+"""Figure 6 — components after preprocessing, long distance.
+
+Paper claim: with client encryption off the online path and the 56 Kbps
+modem in the loop, the communication delay becomes the significant
+factor.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig6_preprocessing_long(benchmark, emit):
+    series = benchmark.pedantic(figures.figure6, iterations=1, rounds=1)
+    emit(series)
+
+    for point in series.points:
+        assert point.get("communication") > point.get("server_compute"), (
+            "paper: communication dominates after preprocessing over the modem"
+        )
+        assert point.get("communication") > point.get("client_encrypt")

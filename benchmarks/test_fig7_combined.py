@@ -1,0 +1,22 @@
+"""Figure 7 — combined preprocessing + batching vs no optimizations.
+
+Paper claim: combining the two optimizations cuts the overall online
+runtime by ~94% (from ~20 minutes to ~a minute at n = 100,000).
+"""
+
+from repro.experiments import figures
+
+
+def test_fig7_combined(benchmark, emit):
+    series = benchmark.pedantic(figures.figure7, iterations=1, rounds=1)
+    emit(series)
+
+    for point in series.points:
+        assert 90 < point.get("reduction_pct") < 96, (
+            "paper: ~94%% reduction from the combination"
+        )
+
+    last = series.final()
+    assert last.get("combined") < 2.0, (
+        "paper: 'the running times are only a few minutes'"
+    )

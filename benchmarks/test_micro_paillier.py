@@ -1,0 +1,95 @@
+"""Live microbenchmarks of the real cryptosystem.
+
+These are genuine pytest-benchmark measurements of the pure-Python
+Paillier implementation at the paper's 512-bit key size: the operations
+whose 2004 costs the performance model encodes.  Absolute numbers
+reflect this machine and CPython, not the paper's Pentium-III — what
+must (and does) carry over is the *structure*: encryption and decryption
+are the expensive operations, the server's fixed-exponent step is an
+order of magnitude cheaper, and a ciphertext multiply is nearly free.
+"""
+
+import pytest
+
+from repro.crypto.paillier import generate_keypair
+from repro.crypto.rng import DeterministicRandom
+from repro.timing.costmodel import Op, calibrate_profile
+
+KEY_BITS = 512
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(KEY_BITS, "micro-bench")
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return DeterministicRandom("micro-rng")
+
+
+def test_micro_encrypt(benchmark, keypair, rng):
+    result = benchmark(lambda: keypair.public.encrypt_raw(12345, rng))
+    assert keypair.private.raw_decrypt(result) == 12345
+
+
+def test_micro_obfuscator_precompute(benchmark, keypair, rng):
+    """The offline part of an encryption (r^n mod n^2) — §3.3's target."""
+    benchmark(lambda: keypair.public.obfuscator(rng))
+
+
+def test_micro_server_weighted_step(benchmark, keypair, rng):
+    """The server's per-element op: a 32-bit exponentiation + multiply."""
+    ct = keypair.public.encrypt_raw(1, rng)
+    nsquare = keypair.public.nsquare
+
+    def step():
+        return pow(ct, 0xDEADBEEF, nsquare) * ct % nsquare
+
+    benchmark(step)
+
+
+def test_micro_ciphertext_multiply(benchmark, keypair, rng):
+    a = keypair.public.encrypt_raw(1, rng)
+    b = keypair.public.encrypt_raw(2, rng)
+    nsquare = keypair.public.nsquare
+    benchmark(lambda: a * b % nsquare)
+
+
+def test_micro_decrypt(benchmark, keypair, rng):
+    ct = keypair.public.encrypt_raw(98765, rng)
+    result = benchmark(lambda: keypair.private.raw_decrypt(ct))
+    assert result == 98765
+
+
+def test_micro_keygen(benchmark):
+    counter = iter(range(10_000))
+    result = benchmark.pedantic(
+        lambda: generate_keypair(KEY_BITS, next(counter)),
+        iterations=1,
+        rounds=3,
+    )
+    assert result.public.bits in (KEY_BITS - 1, KEY_BITS)
+
+
+def test_cost_model_structure_matches_measurements(benchmark):
+    """Calibrate a profile from live measurements and check that the
+    op-cost *ordering* the 2004 model assumes holds on real hardware:
+    encrypt ~ decrypt >> server step >> ciphertext multiply."""
+    profile = benchmark.pedantic(
+        lambda: calibrate_profile(key_bits=KEY_BITS, iterations=10),
+        iterations=1,
+        rounds=1,
+    )
+    encrypt = profile.cost(Op.ENCRYPT, KEY_BITS)
+    decrypt = profile.cost(Op.DECRYPT, KEY_BITS)
+    step = profile.cost(Op.WEIGHTED_STEP, KEY_BITS)
+    multiply = profile.cost(Op.CIPHER_ADD, KEY_BITS)
+    print(
+        "\nlive 512-bit costs: encrypt=%.3fms decrypt=%.3fms "
+        "server-step=%.3fms multiply=%.4fms"
+        % (encrypt * 1e3, decrypt * 1e3, step * 1e3, multiply * 1e3)
+    )
+    assert 0.2 < encrypt / decrypt < 5.0
+    assert encrypt > 4 * step
+    assert step > 4 * multiply

@@ -1,0 +1,23 @@
+"""In-text experiment A — the Java/C++ factor.
+
+Paper (§3): "On average, the performance results from our Java
+experiments were around five times slower than those of similar C++
+experiments."
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+
+def test_text_language_factor(benchmark, emit):
+    series = benchmark.pedantic(
+        figures.text_language_factor, iterations=1, rounds=1
+    )
+    emit(series)
+
+    for point in series.points:
+        assert point.get("compute_ratio") == pytest.approx(5.0, rel=0.02), (
+            "paper: Java around five times slower than C++"
+        )
+        assert point.get("java") > 4 * point.get("cpp")

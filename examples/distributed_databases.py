@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Private sums over multiple distributed databases.
+
+The paper (§1): "This protocol ... can easily be extended to work for
+multiple distributed databases."  Scenario: three hospitals each hold a
+partition of patient records; a researcher wants one aggregate across
+all of them without any hospital learning the cohort and — in blinded
+mode — without the researcher learning any single hospital's subtotal.
+
+Run:  python examples/distributed_databases.py
+"""
+
+from repro.crypto.paillier import PaillierScheme
+from repro.datastore import ServerDatabase, WorkloadGenerator
+from repro.experiments.environments import short_distance
+from repro.spfe import DistributedSelectedSumProtocol, ExecutionContext
+
+
+def modelled_fan_out():
+    print("=" * 72)
+    print("Three hospitals, one query (modelled at paper scale)")
+    print("=" * 72)
+
+    generator = WorkloadGenerator("hospitals")
+    partitions = [
+        generator.database(40_000),  # hospital A
+        generator.database(35_000),  # hospital B
+        generator.database(25_000),  # hospital C
+    ]
+    total_n = sum(len(p) for p in partitions)
+    selection = generator.random_selection(total_n, 1_000)
+    combined = [v for p in partitions for v in p.values]
+    expected = sum(v * s for v, s in zip(combined, selection))
+
+    result = DistributedSelectedSumProtocol(
+        short_distance.context(seed="hospitals"), hide_partials=True
+    ).run_distributed(partitions, selection)
+    result.verify(expected)
+
+    print("\npartitions: %s rows" % result.metadata["partition_sizes"])
+    print("cohort size: %d (hidden from every hospital)" % result.m)
+    print("aggregate sum: %d" % result.value)
+    print("modelled online runtime: %.1f minutes" % result.online_minutes())
+    print("  (client encryption %.1f min — unchanged vs one server;"
+          % (result.breakdown.client_encrypt_s / 60))
+    print("   the three server passes overlap)")
+    print("blind coordination overhead: %d bytes between servers"
+          % result.metadata["blind_coordination_bytes"])
+
+
+def blinded_subtotals_demo():
+    print("\n" + "=" * 72)
+    print("Subtotal hiding with real cryptography")
+    print("=" * 72)
+
+    partitions = [
+        ServerDatabase([100, 200], value_bits=16),   # subtotal 300
+        ServerDatabase([300, 400], value_bits=16),   # subtotal 700
+    ]
+    selection = [1, 1, 1, 1]
+
+    for hide in (False, True):
+        ctx = ExecutionContext(
+            scheme=PaillierScheme(), key_bits=256, mode="measured",
+            rng="dist-%s" % hide,
+        )
+        protocol = DistributedSelectedSumProtocol(ctx, hide_partials=hide)
+        result = protocol.run_distributed(partitions, selection)
+        print("\nhide_partials=%s -> total %d" % (hide, result.value))
+        if hide:
+            print("  each hospital's reply was blinded; only the combined")
+            print("  ciphertext decrypts to something meaningful")
+        else:
+            print("  each reply decrypts to that hospital's subtotal")
+            print("  (fine when each hospital consents to its own aggregate)")
+
+
+if __name__ == "__main__":
+    modelled_fan_out()
+    blinded_subtotals_demo()
+    print("\ndone.")

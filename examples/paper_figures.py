@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper's evaluation as tables + charts.
+
+Runs the seven figure experiments (Figures 2-7 and 9; Figures 1 and 8
+are protocol diagrams) plus the two in-text experiments, renders each as
+a fixed-width table and an ASCII chart, and writes everything under
+``results/``.
+
+Pass ``--quick`` (or set REPRO_QUICK=1) for a 4-point sweep instead of
+the paper's 10 database sizes.
+
+Run:  python examples/paper_figures.py [--quick]
+"""
+
+import os
+import sys
+import time
+
+from repro.experiments import (
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure9,
+    render_chart,
+    render_table,
+    text_language_factor,
+    text_yao_baseline,
+    write_result_file,
+)
+
+
+HEADLINE_COLUMNS = {
+    "figure2": "client_encrypt",
+    "figure3": "client_encrypt",
+    "figure4": "with_batching",
+    "figure5": "server_compute",
+    "figure6": "communication",
+    "figure7": "combined",
+    "figure9": "with_secret_sharing",
+    "text-language-factor": "java",
+    "text-yao-baseline": "fairplay_model",
+}
+
+
+def main():
+    if "--quick" in sys.argv:
+        os.environ["REPRO_QUICK"] = "1"
+
+    runners = (
+        figure2,
+        figure3,
+        figure4,
+        figure5,
+        figure6,
+        figure7,
+        figure9,
+        text_language_factor,
+        lambda: text_yao_baseline(),
+    )
+    started = time.perf_counter()
+    for runner in runners:
+        t0 = time.perf_counter()
+        series = runner()
+        table = render_table(series)
+        chart = render_chart(series, HEADLINE_COLUMNS[series.experiment_id])
+        print("\n" + table)
+        print("\n" + chart)
+        write_result_file(
+            table + "\n\n" + chart, series.experiment_id + ".txt"
+        )
+        print("(%.1fs; written to results/%s.txt)"
+              % (time.perf_counter() - t0, series.experiment_id))
+    print("\nall figures regenerated in %.1fs" % (time.perf_counter() - started))
+
+
+if __name__ == "__main__":
+    main()

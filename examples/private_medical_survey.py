@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Private cohort statistics over a hospital's database.
+
+The motivating scenario of privacy-preserving statistics (paper §1): a
+research client wants aggregate statistics — mean, variance, a weighted
+average — over a *cohort* of patients in a hospital's database.  The
+hospital must not learn which patients are in the cohort (that set may
+itself encode the research hypothesis); the researcher must learn only
+the agreed statistics, not any patient's value.
+
+This example runs the real cryptographic protocol (512-bit Paillier, as
+in the paper) end to end for every statistic, verifies each against a
+direct computation, and shows what each party actually saw.
+
+Run:  python examples/private_medical_survey.py
+"""
+
+import numpy as np
+
+from repro.crypto.paillier import PaillierScheme
+from repro.datastore import ServerDatabase, indices_to_bits
+from repro.spfe import (
+    ExecutionContext,
+    PrivateStatisticsClient,
+    audit_client_privacy,
+)
+from repro.crypto.rng import DeterministicRandom
+
+
+def build_hospital_database(num_patients=120, seed="hospital-2004"):
+    """Synthetic patient records: systolic blood pressure, mmHg."""
+    rng = DeterministicRandom(seed)
+    readings = [90 + rng.randbelow(90) for _ in range(num_patients)]
+    return ServerDatabase(readings, value_bits=16)
+
+
+def choose_cohort(num_patients, seed="study-cohort"):
+    """The researcher's secret cohort: 30 patient indices."""
+    rng = DeterministicRandom(seed)
+    cohort = set()
+    while len(cohort) < 30:
+        cohort.add(rng.randbelow(num_patients))
+    return sorted(cohort)
+
+
+def main():
+    database = build_hospital_database()
+    cohort = choose_cohort(len(database))
+    selection = indices_to_bits(len(database), cohort)
+
+    print("hospital database: %d patients (blood-pressure readings)" % len(database))
+    print("research cohort: %d patients (indices secret from hospital)" % len(cohort))
+
+    # Real cryptography: 512-bit Paillier, measured mode.
+    context = ExecutionContext(
+        scheme=PaillierScheme(), key_bits=512, mode="measured", rng="survey"
+    )
+    stats = PrivateStatisticsClient(context)
+
+    print("\nrunning private statistics (real 512-bit Paillier)...")
+    mean = stats.mean(database, selection)
+    variance = stats.variance(database, selection, ddof=1)
+    std = stats.std(database, selection, ddof=1)
+
+    # Ground truth (what the two parties could compute together only by
+    # giving up privacy).
+    readings = np.array(database.values, dtype=float)
+    mask = np.array(selection, dtype=bool)
+    cohort_values = readings[mask]
+
+    print("\n%-22s %12s %12s" % ("statistic", "private", "ground truth"))
+    for name, private_value, truth in (
+        ("cohort mean", mean.value, cohort_values.mean()),
+        ("cohort variance", variance.value, cohort_values.var(ddof=1)),
+        ("cohort std dev", std.value, cohort_values.std(ddof=1)),
+    ):
+        print("%-22s %12.4f %12.4f" % (name, private_value, truth))
+        assert abs(private_value - truth) < 1e-6
+
+    # Weighted average: weight recent readings more heavily.
+    weights = [0] * len(database)
+    for rank, index in enumerate(cohort):
+        weights[index] = 1 + rank % 3  # weights 1..3
+    weighted = stats.weighted_average(database, weights)
+    truth = np.average(readings, weights=weights)
+    print("%-22s %12.4f %12.4f" % ("weighted average", weighted.value, truth))
+    assert abs(weighted.value - truth) < 1e-6
+
+    # What did the hospital actually see?  Audit the first run's channel.
+    channel = mean.runs[0].metadata["channel"]
+    audit_client_privacy(channel, selection)
+    uplink = channel.server_view
+    print("\nhospital's view of the mean query:")
+    print("  messages received: %d" % uplink.count())
+    print("  encrypted index ciphertexts: %d" % uplink.count("enc-index"))
+    print("  plaintext patient indices visible: 0 (audit passed)")
+
+    print("\nresearcher's view: %d message (the encrypted sum) per query"
+          % channel.client_view.count())
+    total_runs = mean.runs + variance.runs + weighted.runs
+    print("\ntotal protocol cost: %d runs, %.1f KB moved"
+          % (len(total_runs), sum(r.total_bytes for r in total_runs) / 1e3))
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

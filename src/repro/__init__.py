@@ -1,0 +1,74 @@
+"""repro — privacy-preserving statistics computation over remote databases.
+
+A complete reproduction of Subramaniam, Wright & Yang, *Experimental
+Analysis of Privacy-Preserving Statistics Computation* (Secure Data
+Management workshop @ VLDB, 2004): the private selected-sum protocol
+built on the Paillier cryptosystem, its practical optimizations
+(batching, preprocessing, multi-client secret sharing), the statistics
+layer it enables (means, variances, weighted averages), the generic-SMC
+baseline (Yao garbled circuits over our own OT and circuit substrate),
+and a deterministic performance model that regenerates every figure of
+the paper's evaluation.
+
+Quickstart::
+
+    import repro
+
+    db = repro.ServerDatabase([17, 4, 23, 8, 15])
+    result = repro.private_selected_sum(db, [1, 0, 1, 0, 1])
+    assert result.value == 17 + 23 + 15
+
+See ``examples/quickstart.py`` for the tour, ``DESIGN.md`` for the
+architecture, and ``EXPERIMENTS.md`` for paper-vs-measured numbers.
+"""
+
+from repro._version import __version__
+from repro.crypto import (
+    EncryptedNumber,
+    PaillierPrivateKey,
+    PaillierPublicKey,
+    PaillierScheme,
+    RandomnessPool,
+    SimulatedPaillier,
+    generate_keypair,
+)
+from repro.datastore import ServerDatabase, WorkloadGenerator
+from repro.net import LinkModel, links
+from repro.spfe import (
+    BatchedSelectedSumProtocol,
+    CombinedSelectedSumProtocol,
+    ExecutionContext,
+    MultiClientSelectedSumProtocol,
+    PreprocessedSelectedSumProtocol,
+    PrivateStatisticsClient,
+    SelectedSumProtocol,
+    SumRunResult,
+    private_selected_sum,
+)
+from repro.timing import HardwareProfile, profiles
+
+__all__ = [
+    "BatchedSelectedSumProtocol",
+    "CombinedSelectedSumProtocol",
+    "EncryptedNumber",
+    "ExecutionContext",
+    "HardwareProfile",
+    "LinkModel",
+    "MultiClientSelectedSumProtocol",
+    "PaillierPrivateKey",
+    "PaillierPublicKey",
+    "PaillierScheme",
+    "PreprocessedSelectedSumProtocol",
+    "PrivateStatisticsClient",
+    "RandomnessPool",
+    "SelectedSumProtocol",
+    "ServerDatabase",
+    "SimulatedPaillier",
+    "SumRunResult",
+    "WorkloadGenerator",
+    "__version__",
+    "generate_keypair",
+    "links",
+    "private_selected_sum",
+    "profiles",
+]

@@ -1,0 +1,19 @@
+"""Boolean circuit substrate for the generic-SMC (Yao) baseline."""
+
+from repro.circuits.builder import (
+    EVALUATOR,
+    GARBLER,
+    CircuitBuilder,
+    build_selected_sum_circuit,
+)
+from repro.circuits.circuit import Circuit, Gate, GateOp
+
+__all__ = [
+    "Circuit",
+    "CircuitBuilder",
+    "EVALUATOR",
+    "GARBLER",
+    "Gate",
+    "GateOp",
+    "build_selected_sum_circuit",
+]

@@ -1,0 +1,385 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo`` — a one-minute tour: real crypto on a small database plus a
+  paper-scale modelled run.
+* ``sum`` — run a private selected sum over a database file (one integer
+  per line) with any protocol variant and environment.
+* ``estimate`` — closed-form cost prediction for a hypothetical query
+  (no workload materialised; see :mod:`repro.spfe.estimator`).
+* ``figures`` — regenerate the paper's figures into ``results/``.
+* ``keygen`` — generate a Paillier key pair and print its parameters.
+* ``serve`` / ``query`` — run the real wire protocol over TCP: ``serve``
+  holds a database and answers one private-sum query per connection;
+  ``query`` connects, streams its encrypted selection, and prints the
+  decrypted sum.
+
+Every command is a plain function of parsed arguments; ``main`` returns
+a process exit code, so the test suite drives the CLI in-process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.datastore.database import ServerDatabase
+from repro.datastore.workload import WorkloadGenerator, indices_to_bits
+from repro.exceptions import ReproError
+
+__all__ = ["main", "build_parser"]
+
+_PROTOCOLS = ("plain", "batched", "preprocessed", "combined", "multiclient")
+_ENVIRONMENTS = ("short", "long", "wireless")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Privacy-preserving statistics computation "
+        "(Subramaniam, Wright & Yang, SDM@VLDB 2004).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("demo", help="one-minute guided demo")
+
+    sum_cmd = commands.add_parser("sum", help="run a private selected sum")
+    sum_cmd.add_argument("--db", help="file with one integer per line")
+    sum_cmd.add_argument(
+        "--random", type=int, metavar="N", help="use a random N-element database"
+    )
+    sum_cmd.add_argument(
+        "--select",
+        required=True,
+        help="comma-separated indices to sum (e.g. 0,5,17)",
+    )
+    sum_cmd.add_argument("--protocol", choices=_PROTOCOLS, default="plain")
+    sum_cmd.add_argument("--env", choices=_ENVIRONMENTS, default="short")
+    sum_cmd.add_argument(
+        "--real",
+        action="store_true",
+        help="run real Paillier (measured) instead of the 2004 model",
+    )
+    sum_cmd.add_argument("--key-bits", type=int, default=512)
+    sum_cmd.add_argument("--batch-size", type=int, default=100)
+    sum_cmd.add_argument("--clients", type=int, default=3)
+    sum_cmd.add_argument("--seed", default="cli")
+
+    est_cmd = commands.add_parser("estimate", help="predict a query's cost")
+    est_cmd.add_argument("--n", type=int, required=True)
+    est_cmd.add_argument("--protocol", choices=_PROTOCOLS, default="plain")
+    est_cmd.add_argument("--env", choices=_ENVIRONMENTS, default="short")
+    est_cmd.add_argument("--key-bits", type=int, default=512)
+    est_cmd.add_argument("--batch-size", type=int, default=100)
+    est_cmd.add_argument("--clients", type=int, default=3)
+
+    fig_cmd = commands.add_parser(
+        "figures", help="regenerate the paper's figures into results/"
+    )
+    fig_cmd.add_argument("--quick", action="store_true")
+    fig_cmd.add_argument("--out", default=None, help="output directory")
+
+    plan_cmd = commands.add_parser(
+        "plan", help="rank protocol variants for a query (analytic)"
+    )
+    plan_cmd.add_argument("--n", type=int, required=True)
+    plan_cmd.add_argument("--env", choices=_ENVIRONMENTS, default="short")
+    plan_cmd.add_argument("--key-bits", type=int, default=512)
+    plan_cmd.add_argument("--clients", type=int, default=1)
+    plan_cmd.add_argument("--no-preprocessing", action="store_true")
+    plan_cmd.add_argument("--no-batching", action="store_true")
+    plan_cmd.add_argument("--max-offline-minutes", type=float, default=None)
+    plan_cmd.add_argument("--max-storage-mb", type=float, default=None)
+
+    key_cmd = commands.add_parser("keygen", help="generate a Paillier key pair")
+    key_cmd.add_argument("--bits", type=int, default=512)
+    key_cmd.add_argument("--seed", default=None)
+
+    serve_cmd = commands.add_parser(
+        "serve", help="serve a database over TCP (one query per connection)"
+    )
+    serve_cmd.add_argument("--db", help="file with one integer per line")
+    serve_cmd.add_argument("--random", type=int, metavar="N")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    serve_cmd.add_argument(
+        "--queries", type=int, default=1, help="connections to serve before exiting"
+    )
+    serve_cmd.add_argument("--seed", default="cli")
+
+    query_cmd = commands.add_parser(
+        "query", help="query a repro server over TCP"
+    )
+    query_cmd.add_argument("--host", default="127.0.0.1")
+    query_cmd.add_argument("--port", type=int, required=True)
+    query_cmd.add_argument("--n", type=int, required=True,
+                           help="server database size")
+    query_cmd.add_argument("--select", required=True,
+                           help="comma-separated indices")
+    query_cmd.add_argument("--key-bits", type=int, default=512)
+    query_cmd.add_argument("--chunk-size", type=int, default=64)
+
+    return parser
+
+
+# -- command implementations ---------------------------------------------------
+
+
+def _environment(name: str):
+    from repro.experiments.environments import long_distance, short_distance, wireless
+
+    return {"short": short_distance, "long": long_distance, "wireless": wireless}[name]
+
+
+def _protocol(name: str, context, args):
+    from repro.spfe import (
+        BatchedSelectedSumProtocol,
+        CombinedSelectedSumProtocol,
+        MultiClientSelectedSumProtocol,
+        PreprocessedSelectedSumProtocol,
+        SelectedSumProtocol,
+    )
+
+    if name == "plain":
+        return SelectedSumProtocol(context)
+    if name == "batched":
+        return BatchedSelectedSumProtocol(context, batch_size=args.batch_size)
+    if name == "preprocessed":
+        return PreprocessedSelectedSumProtocol(context)
+    if name == "combined":
+        return CombinedSelectedSumProtocol(context, batch_size=args.batch_size)
+    return MultiClientSelectedSumProtocol(context, num_clients=args.clients)
+
+
+def _load_database(args) -> ServerDatabase:
+    if args.db and args.random:
+        raise ReproError("pass either --db or --random, not both")
+    if args.db:
+        with open(args.db) as handle:
+            values = [int(line.strip()) for line in handle if line.strip()]
+        return ServerDatabase(values)
+    if args.random:
+        return WorkloadGenerator(args.seed).database(args.random)
+    raise ReproError("either --db FILE or --random N is required")
+
+
+def cmd_demo(args, out) -> int:
+    from repro.crypto.paillier import generate_keypair
+    from repro.spfe.selected_sum import private_selected_sum
+    from repro.experiments.environments import short_distance
+    from repro.spfe.selected_sum import SelectedSumProtocol
+
+    out.write("1/3 real 512-bit Paillier key pair...\n")
+    keypair = generate_keypair(512)
+    out.write("    n has %d bits\n" % keypair.public.bits)
+
+    out.write("2/3 private sum over [17, 4, 23, 8, 15], selecting 0/2/4...\n")
+    db = ServerDatabase([17, 4, 23, 8, 15])
+    result = private_selected_sum(db, [1, 0, 1, 0, 1])
+    out.write("    sum = %d (server never saw the selection)\n" % result.value)
+
+    out.write("3/3 paper-scale modelled run (n=100,000, 2004 cluster)...\n")
+    generator = WorkloadGenerator("demo")
+    big = generator.database(100_000)
+    selection = generator.random_selection(100_000, 1_000)
+    run = SelectedSumProtocol(short_distance.context(seed="demo")).run(big, selection)
+    out.write(
+        "    modelled online runtime: %.1f minutes (paper: ~20)\n"
+        % run.online_minutes()
+    )
+    return 0
+
+
+def cmd_sum(args, out) -> int:
+    database = _load_database(args)
+    indices = [int(token) for token in args.select.split(",") if token.strip()]
+    selection = indices_to_bits(len(database), indices)
+
+    environment = _environment(args.env)
+    mode = "measured" if args.real else "modelled"
+    scheme = None
+    if args.real:
+        from repro.crypto.paillier import PaillierScheme
+
+        scheme = PaillierScheme()
+    context = environment.context(
+        key_bits=args.key_bits, seed=args.seed, scheme=scheme, mode=mode
+    )
+    result = _protocol(args.protocol, context, args).run(database, selection)
+    result.verify(database.select_sum(selection))
+
+    out.write("sum of %d selected elements: %d\n" % (result.m, result.value))
+    out.write("protocol: %s over %s (%s)\n" % (result.protocol, result.link, mode))
+    if args.real:
+        out.write("measured online time: %.3f s\n" % result.makespan_s)
+    else:
+        out.write("modelled 2004 online time: %.2f min\n" % result.online_minutes())
+    out.write("bytes moved: %d\n" % result.total_bytes)
+    return 0
+
+
+def cmd_estimate(args, out) -> int:
+    from repro.spfe.estimator import ProtocolCostEstimator
+
+    context = _environment(args.env).context(key_bits=args.key_bits)
+    estimator = ProtocolCostEstimator(context)
+    if args.protocol == "plain":
+        estimate = estimator.plain(args.n)
+    elif args.protocol == "batched":
+        estimate = estimator.batched(args.n, args.batch_size)
+    elif args.protocol == "preprocessed":
+        estimate = estimator.preprocessed(args.n)
+    elif args.protocol == "combined":
+        estimate = estimator.combined(args.n, args.batch_size)
+    else:
+        estimate = estimator.multiclient(args.n, args.clients)
+
+    out.write(
+        "estimated cost of %s at n=%d (%s, %d-bit keys):\n"
+        % (estimate.protocol, estimate.n, args.env, args.key_bits)
+    )
+    out.write("  online runtime: %.2f min\n" % estimate.online_minutes())
+    minutes = estimate.breakdown.as_minutes()
+    for component in (
+        "client_encrypt",
+        "server_compute",
+        "communication",
+        "client_decrypt",
+        "offline_precompute",
+        "combine",
+    ):
+        if minutes[component]:
+            out.write("  %-20s %10.3f min\n" % (component, minutes[component]))
+    out.write("  bytes up/down: %d / %d\n" % (estimate.bytes_up, estimate.bytes_down))
+    return 0
+
+
+def cmd_figures(args, out) -> int:
+    import os
+
+    if args.quick:
+        os.environ["REPRO_QUICK"] = "1"
+    from repro.experiments import run_paper_figures, render_table, write_result_file
+
+    for experiment_id, series in run_paper_figures().items():
+        table = render_table(series)
+        out.write(table + "\n\n")
+        path = write_result_file(table, experiment_id + ".txt", args.out)
+        out.write("written: %s\n" % path)
+    return 0
+
+
+def cmd_plan(args, out) -> int:
+    from repro.spfe.planner import ProtocolPlanner
+
+    context = _environment(args.env).context(key_bits=args.key_bits)
+    plan = ProtocolPlanner(context).plan(
+        args.n,
+        allow_preprocessing=not args.no_preprocessing,
+        allow_batching=not args.no_batching,
+        available_clients=args.clients,
+        max_offline_minutes=args.max_offline_minutes,
+        max_client_storage_mb=args.max_storage_mb,
+    )
+    out.write(plan.explain() + "\n")
+    return 0
+
+
+def cmd_keygen(args, out) -> int:
+    from repro.crypto.paillier import generate_keypair
+
+    keypair = generate_keypair(args.bits, args.seed)
+    out.write("paillier key pair, %d-bit modulus\n" % keypair.public.bits)
+    out.write("n = %d\n" % keypair.public.n)
+    out.write("p = %d\n" % keypair.private.p)
+    out.write("q = %d\n" % keypair.private.q)
+    if args.seed is not None:
+        out.write("(deterministic: seed=%r — for testing only)\n" % args.seed)
+    return 0
+
+
+def cmd_serve(args, out) -> int:
+    import socket
+
+    from repro.spfe.session import ServerSession
+
+    database = _load_database(args)
+    listener = socket.create_server((args.host, args.port))
+    host, port = listener.getsockname()[:2]
+    out.write("serving %d rows on %s:%d (%d queries)\n"
+              % (len(database), host, port, args.queries))
+    try:
+        for _ in range(args.queries):
+            connection, peer = listener.accept()
+            session = ServerSession(database)
+            with connection:
+                while not session.finished:
+                    data = connection.recv(4096)
+                    if not data:
+                        break
+                    reply = session.receive_bytes(data)
+                    if reply:
+                        connection.sendall(reply)
+            out.write("served %s: %d bytes in, %d out\n"
+                      % (peer, session.bytes_received, session.bytes_sent))
+    finally:
+        listener.close()
+    return 0
+
+
+def cmd_query(args, out) -> int:
+    import socket
+
+    from repro.spfe.session import ClientSession
+
+    indices = [int(token) for token in args.select.split(",") if token.strip()]
+    selection = indices_to_bits(args.n, indices)
+    client = ClientSession(
+        selection, key_bits=args.key_bits, chunk_size=args.chunk_size
+    )
+    with socket.create_connection((args.host, args.port)) as connection:
+        for outgoing in client.initial_bytes():
+            connection.sendall(outgoing)
+        while client.result is None:
+            data = connection.recv(4096)
+            if not data:
+                raise ReproError("server closed the connection early")
+            client.receive_bytes(data)
+    out.write("private sum of %d elements: %d\n" % (len(indices), client.result))
+    out.write("bytes up/down: %d / %d\n"
+              % (client.bytes_sent, client.bytes_received))
+    return 0
+
+
+_COMMANDS = {
+    "demo": cmd_demo,
+    "sum": cmd_sum,
+    "estimate": cmd_estimate,
+    "figures": cmd_figures,
+    "keygen": cmd_keygen,
+    "plan": cmd_plan,
+    "serve": cmd_serve,
+    "query": cmd_query,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ReproError as exc:
+        out.write("error: %s\n" % exc)
+        return 2
+    except OSError as exc:
+        out.write("error: %s\n" % exc)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Cryptographic substrate: number theory, primes, and the cryptosystems.
+
+The package is self-contained — pure Python on built-in big integers, no
+``gmpy2``/``phe``/OpenSSL — and provides everything the protocols in
+:mod:`repro.spfe` and the Yao baseline in :mod:`repro.yao` need:
+
+* :mod:`repro.crypto.paillier` — the paper's cryptosystem (the default).
+* :mod:`repro.crypto.elgamal` — exponential ElGamal, an ablation comparator.
+* :mod:`repro.crypto.goldwasser_micali` — GM bit encryption.
+* :mod:`repro.crypto.rsa` — the trapdoor permutation for oblivious transfer.
+* :mod:`repro.crypto.simulated` — the cost-modelled Paillier stand-in.
+"""
+
+from repro.crypto.damgard_jurik import DamgardJurikScheme, generate_dj_keypair
+from repro.crypto.paillier import (
+    EncryptedNumber,
+    PaillierPrivateKey,
+    PaillierPublicKey,
+    PaillierScheme,
+    RandomnessPool,
+    generate_keypair,
+)
+from repro.crypto.rng import DeterministicRandom, RandomSource, SecureRandom
+from repro.crypto.scheme import AdditiveHomomorphicScheme, SchemeKeyPair
+from repro.crypto.simulated import SimulatedPaillier
+
+__all__ = [
+    "AdditiveHomomorphicScheme",
+    "DamgardJurikScheme",
+    "DeterministicRandom",
+    "EncryptedNumber",
+    "PaillierPrivateKey",
+    "PaillierPublicKey",
+    "PaillierScheme",
+    "RandomSource",
+    "RandomnessPool",
+    "SchemeKeyPair",
+    "SecureRandom",
+    "SimulatedPaillier",
+    "generate_dj_keypair",
+    "generate_keypair",
+]

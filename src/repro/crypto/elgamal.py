@@ -1,0 +1,234 @@
+"""Exponential (additively homomorphic) ElGamal over a Schnorr group.
+
+This scheme is included as an *ablation comparator* for Paillier
+(DESIGN.md §4): it satisfies the same homomorphic identities —
+
+    E(a) (*) E(b) = E(a + b),    E(a)^k = E(a * k)
+
+— but stores the plaintext in the exponent (``g^m``), so decryption
+requires solving a discrete logarithm.  That is fine for small sums and
+hopeless for the 32-bit values the paper's databases hold, which is
+exactly the point the ablation bench quantifies: scheme choice is not
+incidental, Paillier's full-range decryption is what makes the private
+sum protocol practical.
+
+Group: a safe prime ``p = 2q + 1`` with generator ``g`` of the order-q
+subgroup (quadratic residues).  Decryption recovers ``m`` from ``g^m``
+with baby-step/giant-step, bounded by a caller-supplied ``max_plaintext``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+from repro.crypto.ntheory import bytes_for_bits, isqrt, modinv
+from repro.crypto.primes import is_probable_prime, random_safe_prime
+from repro.crypto.rng import RandomSource, as_random_source
+from repro.crypto.scheme import AdditiveHomomorphicScheme, SchemeKeyPair
+from repro.exceptions import DecryptionError, KeyGenerationError
+
+__all__ = [
+    "ElGamalPublicKey",
+    "ElGamalPrivateKey",
+    "ExponentialElGamalScheme",
+    "generate_elgamal_keypair",
+    "SchnorrGroup",
+]
+
+# A couple of precomputed safe-prime groups so tests and benches don't pay
+# safe-prime generation on every run (generation is supported but slow).
+# Both verified prime at import time in the test suite.
+_PRECOMPUTED_SAFE_PRIMES: Dict[int, int] = {
+    256: 0xE83F5153C75CD6B890673E4447DBFD90B719B31094EB7CDA450894E54A7148EF,
+    128: 0x9371FF50DF71B104AC59E05D2CDB6113,
+}
+
+
+class SchnorrGroup:
+    """The order-q subgroup of Z*_p for a safe prime p = 2q + 1."""
+
+    __slots__ = ("p", "q", "g")
+
+    def __init__(self, p: int, g: Optional[int] = None) -> None:
+        if p % 2 == 0 or not is_probable_prime(p):
+            raise KeyGenerationError("p must be an odd prime")
+        q = (p - 1) // 2
+        if not is_probable_prime(q):
+            raise KeyGenerationError("p must be a safe prime (q = (p-1)/2 prime)")
+        self.p = p
+        self.q = q
+        self.g = g if g is not None else self._find_generator()
+
+    def _find_generator(self) -> int:
+        # Any quadratic residue != 1 generates the order-q subgroup.
+        for base in (2, 3, 5, 7, 11, 13):
+            candidate = base * base % self.p
+            if candidate != 1:
+                return candidate
+        raise KeyGenerationError("no generator found")  # pragma: no cover
+
+    def random_exponent(self, rng: RandomSource) -> int:
+        """A uniform exponent in [1, q) (secret keys, blinding)."""
+        return rng.randrange(1, self.q)
+
+    def contains(self, element: int) -> bool:
+        """Subgroup membership test: x^q == 1 (mod p)."""
+        return 0 < element < self.p and pow(element, self.q, self.p) == 1
+
+
+class ElGamalPublicKey:
+    """Public key ``h = g^x`` over a :class:`SchnorrGroup`."""
+
+    __slots__ = ("group", "h")
+
+    def __init__(self, group: SchnorrGroup, h: int) -> None:
+        self.group = group
+        self.h = h
+
+    def encrypt_raw(
+        self, plaintext: int, rng: Optional[RandomSource] = None
+    ) -> Tuple[int, int]:
+        """Encrypt ``plaintext`` (mod q) as ``(g^r, g^m * h^r)``."""
+        source = as_random_source(rng)
+        r = self.group.random_exponent(source)
+        g, p = self.group.g, self.group.p
+        c1 = pow(g, r, p)
+        c2 = pow(g, plaintext % self.group.q, p) * pow(self.h, r, p) % p
+        return c1, c2
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ElGamalPublicKey)
+            and self.group.p == other.group.p
+            and self.h == other.h
+        )
+
+    def __hash__(self) -> int:
+        return hash(("elgamal-pk", self.group.p, self.h))
+
+
+class ElGamalPrivateKey:
+    """Private exponent ``x`` with a bounded discrete-log decryptor."""
+
+    __slots__ = ("public_key", "x", "_bsgs_table", "_bsgs_stride")
+
+    def __init__(self, public_key: ElGamalPublicKey, x: int) -> None:
+        self.public_key = public_key
+        self.x = x
+        self._bsgs_table: Optional[Dict[int, int]] = None
+        self._bsgs_stride = 0
+
+    def decrypt_raw(
+        self, ciphertext: Tuple[int, int], max_plaintext: int
+    ) -> int:
+        """Recover ``m`` from ``(c1, c2)`` assuming ``0 <= m <= max_plaintext``.
+
+        Cost is O(sqrt(max_plaintext)) group operations (baby-step /
+        giant-step) — this is the scheme's fundamental limitation that
+        the ablation bench measures.
+        """
+        c1, c2 = ciphertext
+        p = self.public_key.group.p
+        g_to_m = c2 * modinv(pow(c1, self.x, p), p) % p
+        return self._discrete_log(g_to_m, max_plaintext)
+
+    def _discrete_log(self, target: int, bound: int) -> int:
+        g = self.public_key.group.g
+        p = self.public_key.group.p
+        stride = isqrt(bound) + 1
+        if self._bsgs_table is None or self._bsgs_stride < stride:
+            table: Dict[int, int] = {}
+            e = 1
+            for j in range(stride):
+                table.setdefault(e, j)
+                e = e * g % p
+            self._bsgs_table = table
+            self._bsgs_stride = stride
+        giant = modinv(pow(g, stride, p), p)
+        gamma = target
+        for i in range(stride + 1):
+            j = self._bsgs_table.get(gamma)
+            if j is not None and i * stride + j <= bound:
+                return i * stride + j
+            gamma = gamma * giant % p
+        raise DecryptionError(
+            "plaintext exceeds discrete-log bound %d" % bound
+        )
+
+
+def generate_elgamal_keypair(
+    bits: int = 256,
+    rng: Union[RandomSource, bytes, str, int, None] = None,
+    group: Optional[SchnorrGroup] = None,
+) -> SchemeKeyPair:
+    """Generate an exponential-ElGamal key pair.
+
+    Uses a precomputed safe-prime group when one of the right size is
+    available (256 or 128 bits), otherwise generates a fresh safe prime —
+    correct but slow, so tests stick to the precomputed sizes.
+    """
+    source = as_random_source(rng)
+    if group is None:
+        if bits in _PRECOMPUTED_SAFE_PRIMES:
+            group = SchnorrGroup(_PRECOMPUTED_SAFE_PRIMES[bits])
+        else:
+            group = SchnorrGroup(random_safe_prime(bits, source))
+    x = group.random_exponent(source)
+    public = ElGamalPublicKey(group, pow(group.g, x, group.p))
+    return SchemeKeyPair(public, ElGamalPrivateKey(public, x))
+
+
+class ExponentialElGamalScheme(AdditiveHomomorphicScheme):
+    """Scheme-interface adapter for exponential ElGamal.
+
+    Ciphertexts are ``(c1, c2)`` pairs.  ``decrypt`` is bounded by
+    :attr:`max_plaintext`, which callers must size to the largest sum the
+    protocol can produce.
+    """
+
+    name = "exp-elgamal"
+
+    def __init__(self, max_plaintext: int = 1 << 20) -> None:
+        if max_plaintext < 1:
+            raise ValueError("max_plaintext must be positive")
+        self.max_plaintext = max_plaintext
+
+    def generate(self, bits: int = 256, rng=None) -> SchemeKeyPair:
+        """Generate a key pair (scheme-interface hook)."""
+        return generate_elgamal_keypair(bits, rng)
+
+    def plaintext_modulus(self, public: ElGamalPublicKey) -> int:
+        """The plaintext modulus M (scheme-interface hook)."""
+        return public.group.q
+
+    def ciphertext_size_bytes(self, public: ElGamalPublicKey) -> int:
+        """Wire size of one ciphertext in bytes (scheme-interface hook)."""
+        return 2 * bytes_for_bits(public.group.p.bit_length())
+
+    def encrypt(self, public: ElGamalPublicKey, plaintext: int, rng=None):
+        """Encrypt a plaintext into a fresh ciphertext (scheme-interface hook)."""
+        return public.encrypt_raw(plaintext, as_random_source(rng))
+
+    def decrypt(self, private: ElGamalPrivateKey, ciphertext) -> int:
+        """Decrypt a ciphertext to its representative in [0, M) (scheme-interface hook)."""
+        return private.decrypt_raw(ciphertext, self.max_plaintext)
+
+    def ciphertext_add(self, public: ElGamalPublicKey, a, b):
+        """Homomorphic addition of two ciphertexts (scheme-interface hook)."""
+        p = public.group.p
+        return (a[0] * b[0] % p, a[1] * b[1] % p)
+
+    def ciphertext_scale(self, public: ElGamalPublicKey, a, scalar: int):
+        """Homomorphic scalar multiplication (scheme-interface hook)."""
+        p = public.group.p
+        k = scalar % public.group.q
+        return (pow(a[0], k, p), pow(a[1], k, p))
+
+    def identity(self, public: ElGamalPublicKey):
+        """A deterministic encryption of zero (scheme-interface hook)."""
+        return (1, 1)
+
+    def rerandomize(self, public: ElGamalPublicKey, a, rng=None):
+        """Refresh a ciphertext's randomness, preserving the plaintext (scheme-interface hook)."""
+        zero = public.encrypt_raw(0, as_random_source(rng))
+        return self.ciphertext_add(public, a, zero)

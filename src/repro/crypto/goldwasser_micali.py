@@ -1,0 +1,132 @@
+"""The Goldwasser–Micali cryptosystem (bit encryption, XOR-homomorphic).
+
+GM is the historical first semantically secure cryptosystem and is
+included both for completeness of the crypto substrate and because its
+quadratic-residuosity machinery independently exercises the Jacobi /
+Blum-prime code paths the rest of the library depends on.
+
+* Public key: Blum modulus ``n = p * q`` (p, q ≡ 3 mod 4) and a
+  pseudo-residue ``z`` (Jacobi symbol +1, but a non-residue).
+* ``Encrypt(b; r) = z^b * r^2 mod n`` — a random residue for b = 0 and a
+  random pseudo-residue for b = 1.
+* ``Decrypt(c)``: c is a residue iff the bit is 0, decided via Euler's
+  criterion modulo p.
+* Homomorphism: ``E(a) * E(b) = E(a XOR b)`` — multiplication of
+  ciphertexts flips residuosity like XOR flips bits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.crypto.ntheory import jacobi
+from repro.crypto.primes import random_blum_prime
+from repro.crypto.rng import RandomSource, as_random_source
+from repro.crypto.scheme import SchemeKeyPair
+from repro.exceptions import DecryptionError, EncryptionError, KeyGenerationError
+
+__all__ = [
+    "GMPublicKey",
+    "GMPrivateKey",
+    "generate_gm_keypair",
+    "encrypt_bits",
+    "decrypt_bits",
+]
+
+
+class GMPublicKey:
+    """GM public key ``(n, z)`` with ``z`` a Jacobi-(+1) non-residue."""
+
+    __slots__ = ("n", "z")
+
+    def __init__(self, n: int, z: int) -> None:
+        if jacobi(z, n) != 1:
+            raise KeyGenerationError("z must have Jacobi symbol +1")
+        self.n = n
+        self.z = z
+
+    def encrypt_bit(self, bit: int, rng: Optional[RandomSource] = None) -> int:
+        """Encrypt one bit: a random residue (0) or pseudo-residue (1)."""
+        if bit not in (0, 1):
+            raise EncryptionError("GM encrypts single bits, got %r" % (bit,))
+        source = as_random_source(rng)
+        while True:
+            r = source.randrange(1, self.n)
+            if _gcd(r, self.n) == 1:
+                break
+        c = r * r % self.n
+        if bit:
+            c = c * self.z % self.n
+        return c
+
+    def xor(self, a: int, b: int) -> int:
+        """Homomorphic XOR: multiply ciphertexts."""
+        return a * b % self.n
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GMPublicKey) and (self.n, self.z) == (other.n, other.z)
+
+    def __hash__(self) -> int:
+        return hash(("gm-pk", self.n, self.z))
+
+
+class GMPrivateKey:
+    """GM private key: the factorization of the Blum modulus."""
+
+    __slots__ = ("public_key", "p", "q")
+
+    def __init__(self, public_key: GMPublicKey, p: int, q: int) -> None:
+        if p * q != public_key.n:
+            raise KeyGenerationError("p * q does not match the public modulus")
+        self.public_key = public_key
+        self.p = p
+        self.q = q
+
+    def decrypt_bit(self, ciphertext: int) -> int:
+        """0 if the ciphertext is a quadratic residue mod p, else 1."""
+        if not 0 < ciphertext < self.public_key.n:
+            raise DecryptionError("ciphertext outside Z*_n")
+        legendre = pow(ciphertext, (self.p - 1) // 2, self.p)
+        if legendre == 1:
+            return 0
+        if legendre == self.p - 1:
+            return 1
+        raise DecryptionError("ciphertext shares a factor with the modulus")
+
+
+def generate_gm_keypair(
+    bits: int = 256,
+    rng: Union[RandomSource, bytes, str, int, None] = None,
+) -> SchemeKeyPair:
+    """Generate a GM key pair with a ``bits``-bit Blum modulus.
+
+    With p ≡ q ≡ 3 (mod 4), the element ``n - 1`` (= -1 mod n) has
+    Jacobi symbol +1 but is a non-residue — the canonical choice of z.
+    """
+    source = as_random_source(rng)
+    p = random_blum_prime(bits // 2, source)
+    q = random_blum_prime(bits // 2, source)
+    while q == p:
+        q = random_blum_prime(bits // 2, source)
+    n = p * q
+    public = GMPublicKey(n, n - 1)
+    return SchemeKeyPair(public, GMPrivateKey(public, p, q))
+
+
+def encrypt_bits(
+    public: GMPublicKey, bits: List[int], rng: Optional[RandomSource] = None
+) -> List[int]:
+    """Encrypt a bit vector (convenience for tests and docs)."""
+    source = as_random_source(rng)
+    return [public.encrypt_bit(b, source) for b in bits]
+
+
+def decrypt_bits(private: GMPrivateKey, ciphertexts: List[int]) -> List[int]:
+    """Decrypt a vector of GM ciphertexts."""
+    return [private.decrypt_bit(c) for c in ciphertexts]
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a

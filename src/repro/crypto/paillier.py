@@ -1,0 +1,459 @@
+"""The Paillier cryptosystem (Paillier, EUROCRYPT 1999).
+
+This is the cryptosystem the paper implements: semantically secure,
+additively homomorphic public-key encryption.  For public key
+``n = p * q`` (distinct equal-size primes) and generator ``g = n + 1``:
+
+* ``Encrypt(m; r) = g^m * r^n mod n^2`` with random ``r`` in Z*_n.
+  With ``g = n + 1`` this simplifies to ``(1 + m*n) * r^n mod n^2``,
+  replacing one full modular exponentiation with a multiplication.
+* ``Decrypt(c) = L(c^lambda mod n^2) * mu mod n`` where
+  ``L(u) = (u - 1) / n``.  We implement the standard CRT acceleration,
+  decrypting mod ``p^2`` and ``q^2`` separately (~4x faster).
+
+The homomorphic identities the selected-sum protocol relies on::
+
+    E(a) * E(b) mod n^2 = E(a + b mod n)
+    E(a) ^ k   mod n^2 = E(a * k mod n)
+
+Two layers of API are provided:
+
+* :class:`PaillierScheme` — the hook-style interface protocols consume
+  (plain-int ciphertexts, explicit public key argument).
+* :class:`EncryptedNumber` — an ergonomic wrapper supporting ``+`` and
+  ``*`` with operator overloading and signed plaintexts, for library
+  users writing statistics code.
+
+A :class:`RandomnessPool` implements the precomputation the paper's §3.3
+optimization needs at the crypto layer: the expensive part of encryption
+is ``r^n mod n^2``, which does not depend on the plaintext and can be
+computed offline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+from repro.crypto.ntheory import bytes_for_bits, modinv, crt_pair
+from repro.crypto.primes import random_prime_pair
+from repro.crypto.rng import RandomSource, as_random_source
+from repro.crypto.scheme import AdditiveHomomorphicScheme, SchemeKeyPair
+from repro.crypto.serialization import ciphertext_bytes, decode_int, encode_int
+from repro.exceptions import (
+    DecryptionError,
+    EncryptionError,
+    KeyGenerationError,
+    KeyMismatchError,
+)
+
+__all__ = [
+    "PaillierPublicKey",
+    "PaillierPrivateKey",
+    "PaillierScheme",
+    "EncryptedNumber",
+    "RandomnessPool",
+    "generate_keypair",
+]
+
+DEFAULT_KEY_BITS = 512  # the paper's key size
+
+
+class PaillierPublicKey:
+    """Paillier public key: the modulus ``n`` (with ``g = n + 1`` fixed).
+
+    Attributes:
+        n: the RSA-style modulus ``p * q``.
+        nsquare: ``n ** 2``, the ciphertext modulus.
+        max_int: largest magnitude representable by the signed encoding
+            (``n // 3 - 1``); see :meth:`encode_signed`.
+    """
+
+    __slots__ = ("n", "nsquare", "bits", "max_int")
+
+    def __init__(self, n: int) -> None:
+        if n < 6:
+            raise KeyGenerationError("Paillier modulus too small: %d" % n)
+        self.n = n
+        self.nsquare = n * n
+        self.bits = n.bit_length()
+        self.max_int = n // 3 - 1
+
+    # -- raw operations ---------------------------------------------------
+
+    def raw_encrypt(self, plaintext: int, r_to_n: int) -> int:
+        """Encrypt with precomputed obfuscator ``r_to_n = r^n mod n^2``.
+
+        ``plaintext`` must already be reduced into ``[0, n)``.
+        """
+        if not 0 <= plaintext < self.n:
+            raise EncryptionError(
+                "plaintext %d outside [0, n); encode it first" % plaintext
+            )
+        # g^m = (1 + n)^m = 1 + m*n (mod n^2)
+        g_to_m = (1 + plaintext * self.n) % self.nsquare
+        return g_to_m * r_to_n % self.nsquare
+
+    def obfuscator(self, rng: Optional[RandomSource] = None) -> int:
+        """Draw ``r`` uniformly from Z*_n and return ``r^n mod n^2``.
+
+        This single exponentiation is the dominant cost of encryption and
+        the quantity the §3.3 preprocessing optimization computes offline.
+        """
+        source = as_random_source(rng)
+        while True:
+            r = source.randrange(1, self.n)
+            # gcd(r, n) != 1 happens with negligible probability for real
+            # keys but is cheap to guard against (and matters for the tiny
+            # keys the unit tests use).
+            if _gcd(r, self.n) == 1:
+                return pow(r, self.n, self.nsquare)
+
+    def encrypt_raw(self, plaintext: int, rng: Optional[RandomSource] = None) -> int:
+        """One-shot raw encryption: fresh obfuscator + :meth:`raw_encrypt`."""
+        return self.raw_encrypt(plaintext % self.n, self.obfuscator(rng))
+
+    # -- signed plaintext encoding -----------------------------------------
+
+    def encode_signed(self, value: int) -> int:
+        """Map a signed integer into Z_n.
+
+        Values in ``[0, max_int]`` map to themselves; values in
+        ``[-max_int, 0)`` map to the top of the range.  The middle third
+        of Z_n is left unused so overflow is detectable on decode.
+        """
+        if abs(value) > self.max_int:
+            raise EncryptionError(
+                "value %d exceeds signed capacity +/-%d" % (value, self.max_int)
+            )
+        return value % self.n
+
+    def decode_signed(self, encoded: int) -> int:
+        """Inverse of :meth:`encode_signed`; rejects overflowed values."""
+        if not 0 <= encoded < self.n:
+            raise DecryptionError("encoded value outside Z_n")
+        if encoded <= self.max_int:
+            return encoded
+        if encoded >= self.n - self.max_int:
+            return encoded - self.n
+        raise DecryptionError(
+            "decoded plaintext fell in the overflow gap; "
+            "an addition or scaling overflowed the signed range"
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize the public key (just n, big-endian)."""
+        return encode_int(self.n, bytes_for_bits(self.bits))
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PaillierPublicKey":
+        return cls(decode_int(data))
+
+    def ciphertext_to_bytes(self, ciphertext: int) -> bytes:
+        """Serialize a ciphertext to its fixed wire width."""
+        return encode_int(ciphertext, ciphertext_bytes(self.bits))
+
+    def ciphertext_from_bytes(self, data: bytes) -> int:
+        """Parse a wire ciphertext, validating it lies in Z_{n^2}."""
+        value = decode_int(data)
+        if not 0 <= value < self.nsquare:
+            raise DecryptionError("ciphertext outside Z_{n^2}")
+        return value
+
+    # -- dunder -------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PaillierPublicKey) and self.n == other.n
+
+    def __hash__(self) -> int:
+        return hash(("paillier-pk", self.n))
+
+    def __repr__(self) -> str:
+        return "PaillierPublicKey(bits=%d)" % self.bits
+
+
+class PaillierPrivateKey:
+    """Paillier private key with CRT-accelerated decryption.
+
+    Holds the prime factors ``p`` and ``q`` of the public modulus and the
+    per-prime decryption constants; ``decrypt`` runs the two half-size
+    exponentiations and recombines via the Chinese remainder theorem.
+    """
+
+    __slots__ = ("public_key", "p", "q", "_psquare", "_qsquare", "_hp", "_hq")
+
+    def __init__(self, public_key: PaillierPublicKey, p: int, q: int) -> None:
+        if p * q != public_key.n:
+            raise KeyGenerationError("p * q does not match the public modulus")
+        if p == q:
+            raise KeyGenerationError("p and q must be distinct")
+        self.public_key = public_key
+        self.p = p
+        self.q = q
+        self._psquare = p * p
+        self._qsquare = q * q
+        self._hp = self._h(p, self._psquare)
+        self._hq = self._h(q, self._qsquare)
+
+    def _h(self, prime: int, prime_sq: int) -> int:
+        # h = L_prime(g^{prime-1} mod prime^2)^{-1} mod prime, g = n + 1
+        g_exp = pow(1 + self.public_key.n, prime - 1, prime_sq)
+        return modinv((g_exp - 1) // prime, prime)
+
+    def raw_decrypt(self, ciphertext: int) -> int:
+        """Decrypt a raw ciphertext int to its representative in [0, n)."""
+        if not 0 <= ciphertext < self.public_key.nsquare:
+            raise DecryptionError("ciphertext outside Z_{n^2}")
+        mp = (pow(ciphertext, self.p - 1, self._psquare) - 1) // self.p
+        mp = mp * self._hp % self.p
+        mq = (pow(ciphertext, self.q - 1, self._qsquare) - 1) // self.q
+        mq = mq * self._hq % self.q
+        return crt_pair(mp, self.p, mq, self.q)
+
+    def decrypt_signed(self, ciphertext: int) -> int:
+        """Decrypt and decode through the signed encoding."""
+        return self.public_key.decode_signed(self.raw_decrypt(ciphertext))
+
+    def __repr__(self) -> str:
+        return "PaillierPrivateKey(bits=%d)" % self.public_key.bits
+
+
+def generate_keypair(
+    bits: int = DEFAULT_KEY_BITS,
+    rng: Union[RandomSource, bytes, str, int, None] = None,
+) -> SchemeKeyPair:
+    """Generate a Paillier key pair with an (approximately) ``bits``-bit n.
+
+    Args:
+        bits: modulus size; the paper uses 512.
+        rng: a :class:`~repro.crypto.rng.RandomSource`, or a seed value for
+            deterministic generation in tests/benches, or None for secure
+            randomness.
+
+    Returns:
+        :class:`~repro.crypto.scheme.SchemeKeyPair` of
+        (:class:`PaillierPublicKey`, :class:`PaillierPrivateKey`).
+    """
+    if bits < 16:
+        raise KeyGenerationError("key size %d too small (minimum 16)" % bits)
+    source = as_random_source(rng)
+    p, q = random_prime_pair(bits // 2, source)
+    public = PaillierPublicKey(p * q)
+    return SchemeKeyPair(public, PaillierPrivateKey(public, p, q))
+
+
+class RandomnessPool:
+    """Pool of precomputed encryption obfuscators (``r^n mod n^2``).
+
+    The modular exponentiation ``r^n`` dominates Paillier encryption and
+    is independent of the plaintext, so it can be computed offline — this
+    is the crypto-level half of the paper's §3.3 preprocessing
+    optimization (the protocol-level half, pre-encrypted index bits,
+    lives in :mod:`repro.spfe.preprocessing`).
+
+    The pool refills on demand; :attr:`misses` counts how many
+    obfuscators had to be computed online, which the timing layer uses to
+    charge online vs offline cost correctly.
+    """
+
+    def __init__(
+        self,
+        public_key: PaillierPublicKey,
+        rng: Union[RandomSource, bytes, str, int, None] = None,
+    ) -> None:
+        self.public_key = public_key
+        self._rng = as_random_source(rng)
+        self._pool: List[int] = []
+        self.generated = 0
+        self.misses = 0
+
+    def precompute(self, count: int) -> None:
+        """Generate ``count`` obfuscators now (the offline phase)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        for _ in range(count):
+            self._pool.append(self.public_key.obfuscator(self._rng))
+        self.generated += count
+
+    def take(self) -> int:
+        """Pop one obfuscator, computing it on the spot if the pool is dry."""
+        if self._pool:
+            return self._pool.pop()
+        self.misses += 1
+        return self.public_key.obfuscator(self._rng)
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+
+class EncryptedNumber:
+    """A Paillier ciphertext with operator sugar and signed plaintexts.
+
+    Supports ``enc + enc``, ``enc + int``, ``enc * int``, ``-enc``,
+    ``enc - enc``; all operations stay on ciphertexts.  Adding a plain
+    integer encrypts it with a *deterministic* obfuscator of 1 (no fresh
+    randomness is needed because the sum is rerandomized by the encrypted
+    operand); call :meth:`obfuscate` before sending a result over a
+    channel if the recipient must not learn the operand structure.
+    """
+
+    __slots__ = ("public_key", "ciphertext", "is_obfuscated")
+
+    def __init__(
+        self,
+        public_key: PaillierPublicKey,
+        ciphertext: int,
+        is_obfuscated: bool = False,
+    ) -> None:
+        self.public_key = public_key
+        self.ciphertext = ciphertext % public_key.nsquare
+        self.is_obfuscated = is_obfuscated
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def encrypt(
+        cls,
+        public_key: PaillierPublicKey,
+        value: int,
+        rng: Union[RandomSource, bytes, str, int, None] = None,
+        pool: Optional[RandomnessPool] = None,
+    ) -> "EncryptedNumber":
+        """Encrypt a signed integer, drawing randomness from ``pool`` if given."""
+        encoded = public_key.encode_signed(value)
+        if pool is not None:
+            obfuscator = pool.take()
+        else:
+            obfuscator = public_key.obfuscator(as_random_source(rng))
+        return cls(public_key, public_key.raw_encrypt(encoded, obfuscator), True)
+
+    # -- homomorphic operations --------------------------------------------
+
+    def __add__(
+        self, other: Union["EncryptedNumber", int]
+    ) -> "EncryptedNumber":
+        if isinstance(other, EncryptedNumber):
+            self._check_key(other)
+            product = self.ciphertext * other.ciphertext % self.public_key.nsquare
+            return EncryptedNumber(
+                self.public_key,
+                product,
+                self.is_obfuscated or other.is_obfuscated,
+            )
+        if isinstance(other, int):
+            encoded = self.public_key.encode_signed(other)
+            plain_cipher = (1 + encoded * self.public_key.n) % self.public_key.nsquare
+            product = self.ciphertext * plain_cipher % self.public_key.nsquare
+            return EncryptedNumber(self.public_key, product, self.is_obfuscated)
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __mul__(self, scalar: int) -> "EncryptedNumber":
+        if not isinstance(scalar, int):
+            return NotImplemented
+        encoded = self.public_key.encode_signed(scalar)
+        return EncryptedNumber(
+            self.public_key,
+            pow(self.ciphertext, encoded, self.public_key.nsquare),
+            self.is_obfuscated,
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "EncryptedNumber":
+        return self * -1
+
+    def __sub__(self, other: Union["EncryptedNumber", int]) -> "EncryptedNumber":
+        return self + (-other if isinstance(other, EncryptedNumber) else -other)
+
+    def __rsub__(self, other: int) -> "EncryptedNumber":
+        return (-self) + other
+
+    def obfuscate(
+        self, rng: Union[RandomSource, bytes, str, int, None] = None
+    ) -> "EncryptedNumber":
+        """Multiply in a fresh encryption of zero (rerandomization)."""
+        fresh = self.public_key.obfuscator(as_random_source(rng))
+        return EncryptedNumber(
+            self.public_key,
+            self.ciphertext * fresh % self.public_key.nsquare,
+            True,
+        )
+
+    # -- decryption ----------------------------------------------------------
+
+    def decrypt(self, private_key: PaillierPrivateKey) -> int:
+        """Decrypt with the matching private key (signed decode)."""
+        if private_key.public_key != self.public_key:
+            raise KeyMismatchError("private key does not match ciphertext key")
+        return private_key.decrypt_signed(self.ciphertext)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _check_key(self, other: "EncryptedNumber") -> None:
+        if self.public_key != other.public_key:
+            raise KeyMismatchError(
+                "cannot combine ciphertexts under different public keys"
+            )
+
+    def __repr__(self) -> str:
+        return "EncryptedNumber(bits=%d, obfuscated=%s)" % (
+            self.public_key.bits,
+            self.is_obfuscated,
+        )
+
+
+class PaillierScheme(AdditiveHomomorphicScheme):
+    """Hook-style Paillier implementation of the scheme interface.
+
+    Ciphertexts are plain ints; the public key argument is a
+    :class:`PaillierPublicKey`.  Protocol code in :mod:`repro.spfe` uses
+    this interface so it can also run against
+    :class:`repro.crypto.simulated.SimulatedPaillier`.
+    """
+
+    name = "paillier"
+
+    def generate(self, bits: int = DEFAULT_KEY_BITS, rng=None) -> SchemeKeyPair:
+        """Generate a key pair (scheme-interface hook)."""
+        return generate_keypair(bits, rng)
+
+    def plaintext_modulus(self, public: PaillierPublicKey) -> int:
+        """The plaintext modulus M (scheme-interface hook)."""
+        return public.n
+
+    def ciphertext_size_bytes(self, public: PaillierPublicKey) -> int:
+        """Wire size of one ciphertext in bytes (scheme-interface hook)."""
+        return ciphertext_bytes(public.bits)
+
+    def encrypt(self, public: PaillierPublicKey, plaintext: int, rng=None) -> int:
+        """Encrypt a plaintext into a fresh ciphertext (scheme-interface hook)."""
+        return public.encrypt_raw(plaintext, as_random_source(rng))
+
+    def decrypt(self, private: PaillierPrivateKey, ciphertext: int) -> int:
+        """Decrypt a ciphertext to its representative in [0, M) (scheme-interface hook)."""
+        return private.raw_decrypt(ciphertext)
+
+    def ciphertext_add(self, public: PaillierPublicKey, a: int, b: int) -> int:
+        """Homomorphic addition of two ciphertexts (scheme-interface hook)."""
+        return a * b % public.nsquare
+
+    def ciphertext_scale(self, public: PaillierPublicKey, a: int, scalar: int) -> int:
+        """Homomorphic scalar multiplication (scheme-interface hook)."""
+        return pow(a, scalar % public.n, public.nsquare)
+
+    def identity(self, public: PaillierPublicKey) -> int:
+        """A deterministic encryption of zero (scheme-interface hook)."""
+        return 1
+
+    def rerandomize(self, public: PaillierPublicKey, a: int, rng=None) -> int:
+        """Refresh a ciphertext's randomness, preserving the plaintext (scheme-interface hook)."""
+        return a * public.obfuscator(as_random_source(rng)) % public.nsquare
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a

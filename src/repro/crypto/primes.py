@@ -1,0 +1,196 @@
+"""Prime generation and primality testing.
+
+The Paillier, RSA, ElGamal, and Goldwasser–Micali key generators all pull
+their primes from here.  Testing is Miller–Rabin with a deterministic
+witness set for 64-bit inputs and random witnesses above that, preceded by
+trial division against a precomputed table of small primes (the standard
+speed/assurance tradeoff used by production crypto libraries).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.crypto.rng import RandomSource, as_random_source
+from repro.exceptions import KeyGenerationError
+
+__all__ = [
+    "SMALL_PRIMES",
+    "is_probable_prime",
+    "miller_rabin",
+    "next_prime",
+    "random_prime",
+    "random_prime_pair",
+    "random_safe_prime",
+    "random_blum_prime",
+    "sieve_upto",
+]
+
+# Deterministic Miller-Rabin witness set: correct for all n < 3.3e24
+# (Sorenson & Webster), which covers every input our 64-bit fast path sees.
+_DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
+_DETERMINISTIC_BOUND = 3_317_044_064_679_887_385_961_981
+
+_DEFAULT_ROUNDS = 40  # error probability <= 4^-40 per composite
+
+
+def sieve_upto(limit: int) -> List[int]:
+    """All primes strictly below ``limit`` via the sieve of Eratosthenes."""
+    if limit <= 2:
+        return []
+    flags = bytearray([1]) * limit
+    flags[0] = flags[1] = 0
+    for p in range(2, int(limit**0.5) + 1):
+        if flags[p]:
+            flags[p * p :: p] = bytearray(len(flags[p * p :: p]))
+    return [i for i, f in enumerate(flags) if f]
+
+
+SMALL_PRIMES: Tuple[int, ...] = tuple(sieve_upto(10_000))
+
+
+def miller_rabin(n: int, witnesses: Iterator[int]) -> bool:
+    """Miller–Rabin test of odd ``n > 2`` against explicit witnesses.
+
+    Returns False as soon as any witness proves ``n`` composite.
+    """
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in witnesses:
+        a %= n
+        if a in (0, 1, n - 1):
+            continue
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def is_probable_prime(
+    n: int, rng: Optional[RandomSource] = None, rounds: int = _DEFAULT_ROUNDS
+) -> bool:
+    """Probabilistic primality test.
+
+    Deterministic (no false answers) for ``n`` below ~3.3e24; above that
+    the error probability is at most ``4**-rounds`` per composite.
+    """
+    if n < 2:
+        return False
+    for p in SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    if n < _DETERMINISTIC_BOUND:
+        return miller_rabin(n, iter(_DETERMINISTIC_WITNESSES))
+    source = as_random_source(rng)
+    witnesses = (source.randrange(2, n - 1) for _ in range(rounds))
+    return miller_rabin(n, witnesses)
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime strictly greater than ``n``."""
+    candidate = max(n + 1, 2)
+    if candidate > 2 and candidate % 2 == 0:
+        candidate += 1
+    while not is_probable_prime(candidate):
+        candidate += 1 if candidate == 2 else 2
+    return candidate
+
+
+def random_prime(
+    bits: int, rng: Optional[RandomSource] = None, max_attempts: int = 100_000
+) -> int:
+    """Random prime of exactly ``bits`` bits (top and bottom bits set).
+
+    Setting the top bit guarantees products of two such primes have the
+    expected modulus size; setting the bottom bit skips even candidates.
+    """
+    if bits < 2:
+        raise KeyGenerationError("cannot generate a prime of %d bits" % bits)
+    source = as_random_source(rng)
+    for _ in range(max_attempts):
+        candidate = source.randbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, source):
+            return candidate
+    raise KeyGenerationError(
+        "no %d-bit prime found in %d attempts" % (bits, max_attempts)
+    )
+
+
+def random_prime_pair(
+    bits: int, rng: Optional[RandomSource] = None
+) -> Tuple[int, int]:
+    """Two distinct primes of ``bits`` bits each, suitable for an RSA or
+    Paillier modulus of ``2*bits`` bits.
+
+    Guarantees ``p != q`` and, for Paillier's simplified decryption
+    (``g = n + 1``), that ``gcd(pq, (p-1)(q-1)) == 1`` — automatic when
+    ``p`` and ``q`` are distinct primes of equal size, but asserted anyway.
+    """
+    source = as_random_source(rng)
+    p = random_prime(bits, source)
+    q = random_prime(bits, source)
+    while q == p:
+        q = random_prime(bits, source)
+    n = p * q
+    phi = (p - 1) * (q - 1)
+    if _gcd(n, phi) != 1:  # pragma: no cover - impossible for equal-size primes
+        raise KeyGenerationError("gcd(n, phi) != 1; regenerate primes")
+    return p, q
+
+
+def random_safe_prime(
+    bits: int, rng: Optional[RandomSource] = None, max_attempts: int = 1_000_000
+) -> int:
+    """Random safe prime ``p = 2q + 1`` with ``q`` prime, of ``bits`` bits.
+
+    Safe primes give the ElGamal scheme a large prime-order subgroup and
+    give the DDH-based oblivious transfer its group.  Generation is slow
+    for large sizes, so the tests use modest sizes and the library caches
+    a few precomputed groups (:mod:`repro.crypto.elgamal`).
+    """
+    if bits < 3:
+        raise KeyGenerationError("safe primes need at least 3 bits")
+    source = as_random_source(rng)
+    for _ in range(max_attempts):
+        q = random_prime(bits - 1, source)
+        p = 2 * q + 1
+        if is_probable_prime(p, source):
+            return p
+    raise KeyGenerationError(
+        "no %d-bit safe prime found in %d attempts" % (bits, max_attempts)
+    )
+
+
+def random_blum_prime(
+    bits: int, rng: Optional[RandomSource] = None, max_attempts: int = 100_000
+) -> int:
+    """Random prime congruent to 3 mod 4 (a Blum prime).
+
+    Goldwasser–Micali uses a Blum modulus so that -1 is a canonical
+    quadratic non-residue with Jacobi symbol +1.
+    """
+    source = as_random_source(rng)
+    for _ in range(max_attempts):
+        p = random_prime(bits, source)
+        if p % 4 == 3:
+            return p
+    raise KeyGenerationError(
+        "no %d-bit Blum prime found in %d attempts" % (bits, max_attempts)
+    )
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a

@@ -1,0 +1,19 @@
+"""Data substrate: the server database and reproducible workloads."""
+
+from repro.datastore.database import MAX_VALUE, VALUE_BITS, ServerDatabase
+from repro.datastore.table import Table
+from repro.datastore.workload import (
+    PAPER_DATABASE_SIZES,
+    WorkloadGenerator,
+    indices_to_bits,
+)
+
+__all__ = [
+    "MAX_VALUE",
+    "PAPER_DATABASE_SIZES",
+    "ServerDatabase",
+    "Table",
+    "VALUE_BITS",
+    "WorkloadGenerator",
+    "indices_to_bits",
+]

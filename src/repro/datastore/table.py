@@ -1,0 +1,118 @@
+"""Named-column tables: the relational face of the server database.
+
+The paper's setting is a single numeric column, but its motivating
+applications (cohort statistics, data mining inputs) are tabular.  A
+:class:`Table` holds named, equal-length :class:`~repro.datastore.
+database.ServerDatabase` columns and hands the statistics layer
+server-side derived views (squared columns, product columns) by name —
+so a client can ask for ``mean("blood_pressure")`` or
+``covariance("age", "blood_pressure")`` over a private row selection
+without touching column internals.
+
+The derived views are the *server's own* computation (its data), so no
+privacy surface is added; what crosses the wire is still only the
+selected-sum protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.datastore.database import ServerDatabase
+from repro.exceptions import DatabaseError
+from repro.datastore.database import elementwise_product
+
+__all__ = ["Table"]
+
+
+class Table:
+    """Equal-length named numeric columns, with derived views.
+
+    Args:
+        columns: mapping of column name -> values (iterables of ints) or
+            ready :class:`ServerDatabase` objects.
+        value_bits: bound applied to plain iterables (default 32).
+    """
+
+    def __init__(
+        self,
+        columns: Mapping[str, object],
+        value_bits: int = 32,
+    ) -> None:
+        if not columns:
+            raise DatabaseError("a table needs at least one column")
+        self._columns: Dict[str, ServerDatabase] = {}
+        for name, values in columns.items():
+            if not name or not isinstance(name, str):
+                raise DatabaseError("column names must be non-empty strings")
+            if isinstance(values, ServerDatabase):
+                self._columns[name] = values
+            else:
+                self._columns[name] = ServerDatabase(values, value_bits=value_bits)
+        lengths = {len(column) for column in self._columns.values()}
+        if len(lengths) != 1:
+            raise DatabaseError(
+                "columns have unequal lengths: %s"
+                % {name: len(col) for name, col in self._columns.items()}
+            )
+        self._rows = lengths.pop()
+
+    # -- shape -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._rows
+
+    @property
+    def column_names(self) -> List[str]:
+        return sorted(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __repr__(self) -> str:
+        return "Table(rows=%d, columns=%s)" % (self._rows, self.column_names)
+
+    # -- access -------------------------------------------------------------
+
+    def column(self, name: str) -> ServerDatabase:
+        """Look up a column by name (DatabaseError if absent)."""
+        if name not in self._columns:
+            raise DatabaseError(
+                "no column %r (have %s)" % (name, self.column_names)
+            )
+        return self._columns[name]
+
+    def squared_column(self, name: str) -> ServerDatabase:
+        """Server-side x² view (for variances)."""
+        return self.column(name).squared()
+
+    def product_column(self, left: str, right: str) -> ServerDatabase:
+        """Server-side x·y view (for covariances)."""
+        return elementwise_product(self.column(left), self.column(right))
+
+    def row(self, index: int) -> Dict[str, int]:
+        """One row as a dict (server-side convenience; not a protocol)."""
+        if not 0 <= index < self._rows:
+            raise DatabaseError("row %d out of range" % index)
+        return {name: col[index] for name, col in self._columns.items()}
+
+    # -- construction helpers ---------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        names: Sequence[str],
+        rows: Iterable[Sequence[int]],
+        value_bits: int = 32,
+    ) -> "Table":
+        """Build from row tuples (e.g. parsed CSV)."""
+        materialized: List[Tuple[int, ...]] = [tuple(row) for row in rows]
+        for i, row in enumerate(materialized):
+            if len(row) != len(names):
+                raise DatabaseError(
+                    "row %d has %d fields, expected %d" % (i, len(row), len(names))
+                )
+        columns = {
+            name: [row[j] for row in materialized] for j, name in enumerate(names)
+        }
+        return cls(columns, value_bits=value_bits)

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the broad failure classes below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class KeyGenerationError(CryptoError):
+    """Raised when key generation cannot produce a valid key pair."""
+
+
+class EncryptionError(CryptoError):
+    """Raised when a plaintext cannot be encrypted (e.g. out of range)."""
+
+
+class DecryptionError(CryptoError):
+    """Raised when a ciphertext cannot be decrypted or fails validation."""
+
+
+class KeyMismatchError(CryptoError):
+    """Raised when ciphertexts under different keys are combined."""
+
+
+class ParameterError(ReproError):
+    """Raised for invalid protocol or model parameters."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a protocol run violates its own message contract."""
+
+
+class PrivacyViolationError(ProtocolError):
+    """Raised by privacy auditors when a transcript leaks forbidden data."""
+
+
+class ChannelError(ReproError):
+    """Raised for misuse of the simulated network channel."""
+
+
+class DatabaseError(ReproError):
+    """Raised for invalid database contents or out-of-range queries."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed boolean circuits."""
+
+
+class OTError(ReproError):
+    """Raised when an oblivious-transfer exchange fails."""
+
+
+class GarblingError(ReproError):
+    """Raised when garbled-circuit generation or evaluation fails."""
+
+
+class CalibrationError(ReproError):
+    """Raised when a hardware profile cannot be fitted to measurements."""

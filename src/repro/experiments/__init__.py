@@ -1,0 +1,56 @@
+"""Experiment harness: environments, figure runners, table rendering."""
+
+from repro.experiments.environments import (
+    Environment,
+    long_distance,
+    short_distance,
+    wireless,
+)
+from repro.experiments.figures import (
+    ablation_batch_size,
+    ablation_clients,
+    ablation_key_size,
+    ablation_link,
+    ablation_tradeoff,
+    default_sizes,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure9,
+    run_paper_figures,
+    text_language_factor,
+    text_yao_baseline,
+)
+from repro.experiments.series import ExperimentSeries, SeriesPoint
+from repro.experiments.tables import render_chart, render_table, write_result_file
+
+__all__ = [
+    "Environment",
+    "ExperimentSeries",
+    "SeriesPoint",
+    "ablation_batch_size",
+    "ablation_clients",
+    "ablation_key_size",
+    "ablation_link",
+    "ablation_tradeoff",
+    "default_sizes",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure9",
+    "long_distance",
+    "render_chart",
+    "render_table",
+    "run_paper_figures",
+    "short_distance",
+    "text_language_factor",
+    "text_yao_baseline",
+    "wireless",
+    "write_result_file",
+]

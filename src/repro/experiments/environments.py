@@ -1,0 +1,97 @@
+"""The paper's two measurement environments, as presets.
+
+§3 of the paper: experiments ran (a) inside the Stevens HPC cluster —
+client and server both 2 GHz Pentium-III, gigabit/64 Gbps switching —
+and (b) between Chicago (500 MHz UltraSparc client) and Hoboken (1 GHz
+Pentium server) over a 56 Kbps dial-up modem.  An :class:`Environment`
+bundles the link model and the two hardware profiles and builds ready
+:class:`~repro.spfe.context.ExecutionContext` objects, optionally with
+the Java ~5x language factor (§3 / Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.link import LinkModel, links
+from repro.spfe.context import ExecutionContext
+from repro.timing.costmodel import HardwareProfile, profiles
+
+__all__ = ["Environment", "short_distance", "long_distance", "wireless"]
+
+
+@dataclass(frozen=True)
+class Environment:
+    """A complete measurement environment from the paper."""
+
+    name: str
+    link: LinkModel
+    client_profile: HardwareProfile
+    server_profile: HardwareProfile
+    description: str = ""
+
+    def context(
+        self,
+        java: bool = False,
+        key_bits: int = 512,
+        seed: Optional[str] = None,
+        scheme=None,
+        mode: str = "modelled",
+    ) -> ExecutionContext:
+        """Build an execution context for this environment.
+
+        Args:
+            java: apply the paper's measured ~5x Java factor to both
+                parties (Figure 9's configuration).
+            key_bits: key size (paper: 512).
+            seed: deterministic randomness seed (None = secure random).
+            scheme: override the homomorphic scheme.
+            mode: "modelled" (paper-scale) or "measured" (live crypto).
+        """
+        client = self.client_profile.java() if java else self.client_profile
+        server = self.server_profile.java() if java else self.server_profile
+        return ExecutionContext(
+            scheme=scheme,
+            link=self.link,
+            client_profile=client,
+            server_profile=server,
+            key_bits=key_bits,
+            mode=mode,
+            rng=seed,
+        )
+
+
+#: Figures 2, 4, 5, 7, 9: both parties on the HPC cluster.
+short_distance = Environment(
+    name="short-distance",
+    link=links.cluster,
+    client_profile=profiles.pentium3_2ghz,
+    server_profile=profiles.pentium3_2ghz,
+    description=(
+        "Stevens HPC cluster: 2 GHz Pentium-III client and server, "
+        "gigabit NICs behind a 64 Gbps switch"
+    ),
+)
+
+#: Figures 3 and 6: Chicago client, Hoboken server, 56 Kbps dial-up.
+long_distance = Environment(
+    name="long-distance",
+    link=links.modem,
+    client_profile=profiles.ultrasparc_500mhz,
+    server_profile=profiles.pentium_1ghz,
+    description=(
+        "500 MHz UltraSparc client in Chicago, 1 GHz Pentium server in "
+        "Hoboken, 56 Kbps dial-up modem"
+    ),
+)
+
+#: The decelerated medium the abstract motivates (not separately
+#: measured in the paper; used by the link ablation).
+wireless = Environment(
+    name="wireless-multihop",
+    link=links.wireless_multihop,
+    client_profile=profiles.pentium3_2ghz,
+    server_profile=profiles.pentium3_2ghz,
+    description="wireless multihop worst-case medium (~500 Kbps, 40 ms hops)",
+)

@@ -1,0 +1,76 @@
+"""Rendering experiment series as fixed-width tables and ASCII charts.
+
+The benches print these (and tee them into ``results/``); the tables are
+the textual equivalent of the paper's figures, one row per database
+size, one column per plotted series.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from repro.experiments.series import ExperimentSeries
+
+__all__ = ["render_table", "render_chart", "write_result_file"]
+
+
+def _format_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return "%.0f" % value
+    if abs(value) >= 1:
+        return "%.2f" % value
+    return "%.4f" % value
+
+
+def render_table(series: ExperimentSeries, x_format: str = "%d") -> str:
+    """A fixed-width table: header, rule, one row per point."""
+    headers = [series.x_label] + ["%s (%s)" % (c, series.unit) for c in series.columns]
+    rows: List[List[str]] = []
+    for point in series.points:
+        row = [x_format % point.x]
+        row.extend(_format_value(point.get(c)) for c in series.columns)
+        rows.append(row)
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "%s — %s" % (series.experiment_id, series.title),
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    if series.notes:
+        lines.append("note: %s" % series.notes)
+    return "\n".join(lines)
+
+
+def render_chart(
+    series: ExperimentSeries, column: str, width: int = 60, symbol: str = "#"
+) -> str:
+    """A horizontal ASCII bar chart of one column."""
+    values = series.column(column)
+    peak = max(values) if values else 0.0
+    lines = ["%s — %s [%s, %s]" % (series.experiment_id, series.title, column, series.unit)]
+    for point, value in zip(series.points, values):
+        bar = symbol * (int(round(width * value / peak)) if peak > 0 else 0)
+        lines.append("%10d | %-*s %s" % (point.x, width, bar, _format_value(value)))
+    return "\n".join(lines)
+
+
+def write_result_file(
+    text: str, name: str, directory: Optional[str] = None
+) -> str:
+    """Persist rendered output under ``results/`` (created on demand)."""
+    directory = directory or os.path.join(os.getcwd(), "results")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, name)
+    with open(path, "w") as handle:
+        handle.write(text)
+        if not text.endswith("\n"):
+            handle.write("\n")
+    return path

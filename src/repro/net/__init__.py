@@ -1,0 +1,19 @@
+"""Simulated network substrate: link models, channels, message framing.
+
+Replaces the paper's physical testbeds (cluster switch, 56 Kbps modem)
+with deterministic models — see DESIGN.md §3, substitution 1 and 4.
+"""
+
+from repro.net.channel import Channel, Pipe
+from repro.net.link import LinkModel, links
+from repro.net.wire import Message, MessageLog, vector_wire_bytes
+
+__all__ = [
+    "Channel",
+    "LinkModel",
+    "Message",
+    "MessageLog",
+    "Pipe",
+    "links",
+    "vector_wire_bytes",
+]

@@ -1,0 +1,208 @@
+"""Byte-level wire codec for the selected-sum protocol.
+
+Everything else in :mod:`repro.net` moves Python objects and *accounts*
+bytes; this module actually produces them.  It defines the frame format
+and payload encodings that :mod:`repro.spfe.session` speaks, so the
+protocol can run over any byte stream (the tests drive it through real
+``socket.socketpair()`` connections).
+
+Frame format (big-endian)::
+
+    +------------+----------------+----------------------+
+    | type (u32) | length (u32)   | payload (length B)   |
+    +------------+----------------+----------------------+
+
+Eight bytes of header — exactly the ``FRAME_HEADER_BYTES`` the
+performance model charges per message, so modelled and real wire sizes
+agree (a property the tests check).
+
+Payload encodings:
+
+* HELLO — protocol version (u16), key bits (u16), database size (u32),
+  chunk element count (u32).
+* PUBLIC_KEY — the Paillier modulus n, big-endian, key_bits/8 bytes.
+* ENC_CHUNK — ciphertext count (u32) then that many fixed-width
+  ciphertexts (2 * key_bits / 8 bytes each).
+* RESULT — one fixed-width ciphertext.
+* ERROR — UTF-8 message.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.crypto.ntheory import bytes_for_bits
+from repro.exceptions import ProtocolError
+
+__all__ = [
+    "FrameType",
+    "Frame",
+    "FrameDecoder",
+    "encode_frame",
+    "encode_hello",
+    "decode_hello",
+    "encode_public_key",
+    "decode_public_key",
+    "encode_ciphertext_chunk",
+    "decode_ciphertext_chunk",
+    "encode_result",
+    "decode_result",
+    "PROTOCOL_VERSION",
+]
+
+PROTOCOL_VERSION = 1
+
+_HEADER = struct.Struct(">II")
+_HELLO = struct.Struct(">HHII")
+_COUNT = struct.Struct(">I")
+
+
+class FrameType:
+    """Wire message type tags."""
+
+    HELLO = 1
+    PUBLIC_KEY = 2
+    ENC_CHUNK = 3
+    RESULT = 4
+    ERROR = 5
+
+    _KNOWN = frozenset((HELLO, PUBLIC_KEY, ENC_CHUNK, RESULT, ERROR))
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame."""
+
+    frame_type: int
+    payload: bytes
+
+    @property
+    def wire_bytes(self) -> int:
+        return _HEADER.size + len(self.payload)
+
+
+def encode_frame(frame_type: int, payload: bytes) -> bytes:
+    """Wrap a payload in the 8-byte type+length header."""
+    if frame_type not in FrameType._KNOWN:
+        raise ProtocolError("unknown frame type %d" % frame_type)
+    return _HEADER.pack(frame_type, len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser for a byte stream.
+
+    Feed arbitrary chunks with :meth:`feed`; complete frames come out of
+    :meth:`frames`.  Handles frames split across reads and multiple
+    frames per read — the realities of a TCP stream.
+    """
+
+    MAX_PAYLOAD = 64 * 1024 * 1024  # sanity cap against corrupt lengths
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        """Buffer more stream bytes."""
+        self._buffer.extend(data)
+
+    def frames(self) -> Iterator[Frame]:
+        """Yield every complete frame currently buffered."""
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return
+            frame_type, length = _HEADER.unpack_from(self._buffer, 0)
+            if frame_type not in FrameType._KNOWN:
+                raise ProtocolError("corrupt stream: frame type %d" % frame_type)
+            if length > self.MAX_PAYLOAD:
+                raise ProtocolError("corrupt stream: %d-byte payload" % length)
+            if len(self._buffer) < _HEADER.size + length:
+                return
+            payload = bytes(self._buffer[_HEADER.size : _HEADER.size + length])
+            del self._buffer[: _HEADER.size + length]
+            yield Frame(frame_type, payload)
+
+    def pending_bytes(self) -> int:
+        """Bytes buffered that do not yet form a complete frame."""
+        return len(self._buffer)
+
+
+# -- payload codecs -----------------------------------------------------------
+
+
+def encode_hello(key_bits: int, database_size: int, chunk_size: int) -> bytes:
+    """Encode the HELLO frame (version, key bits, db size, chunk)."""
+    payload = _HELLO.pack(PROTOCOL_VERSION, key_bits, database_size, chunk_size)
+    return encode_frame(FrameType.HELLO, payload)
+
+
+def decode_hello(payload: bytes) -> Tuple[int, int, int]:
+    """Returns (key_bits, database_size, chunk_size); checks the version."""
+    if len(payload) != _HELLO.size:
+        raise ProtocolError("malformed HELLO payload")
+    version, key_bits, database_size, chunk_size = _HELLO.unpack(payload)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "protocol version mismatch: got %d, speak %d"
+            % (version, PROTOCOL_VERSION)
+        )
+    return key_bits, database_size, chunk_size
+
+
+def _ciphertext_width(key_bits: int) -> int:
+    return bytes_for_bits(2 * key_bits)
+
+
+def encode_public_key(n: int, key_bits: int) -> bytes:
+    """Encode the public-key frame (n, big-endian)."""
+    return encode_frame(
+        FrameType.PUBLIC_KEY, n.to_bytes(bytes_for_bits(key_bits), "big")
+    )
+
+
+def decode_public_key(payload: bytes) -> int:
+    """Parse a public-key payload back to n."""
+    if not payload:
+        raise ProtocolError("empty public key payload")
+    return int.from_bytes(payload, "big")
+
+
+def encode_ciphertext_chunk(ciphertexts: List[int], key_bits: int) -> bytes:
+    """Encode a counted chunk of fixed-width ciphertexts."""
+    width = _ciphertext_width(key_bits)
+    parts = [_COUNT.pack(len(ciphertexts))]
+    for ct in ciphertexts:
+        parts.append(ct.to_bytes(width, "big"))
+    return encode_frame(FrameType.ENC_CHUNK, b"".join(parts))
+
+
+def decode_ciphertext_chunk(payload: bytes, key_bits: int) -> List[int]:
+    """Parse a chunk payload, validating its exact length."""
+    width = _ciphertext_width(key_bits)
+    if len(payload) < _COUNT.size:
+        raise ProtocolError("truncated chunk payload")
+    (count,) = _COUNT.unpack_from(payload, 0)
+    expected = _COUNT.size + count * width
+    if len(payload) != expected:
+        raise ProtocolError(
+            "chunk payload is %d bytes, expected %d" % (len(payload), expected)
+        )
+    return [
+        int.from_bytes(payload[_COUNT.size + i * width :][:width], "big")
+        for i in range(count)
+    ]
+
+
+def encode_result(ciphertext: int, key_bits: int) -> bytes:
+    """Encode the single-ciphertext RESULT frame."""
+    width = _ciphertext_width(key_bits)
+    return encode_frame(FrameType.RESULT, ciphertext.to_bytes(width, "big"))
+
+
+def decode_result(payload: bytes, key_bits: int) -> int:
+    """Parse a RESULT payload, validating its width."""
+    width = _ciphertext_width(key_bits)
+    if len(payload) != width:
+        raise ProtocolError("result payload has wrong width")
+    return int.from_bytes(payload, "big")

@@ -1,0 +1,121 @@
+"""Link models: the communication media of the paper's two testbeds.
+
+The paper measures the protocol over (a) a high-performance cluster
+(64 Gbps switch, gigabit NICs) and (b) a 56 Kbps dial-up modem between
+Chicago and Hoboken, and discusses wireless multihop as the motivating
+worst case.  A :class:`LinkModel` reduces a medium to the three numbers
+that matter for a streaming protocol:
+
+* ``bandwidth_bps`` — sustained throughput;
+* ``latency_s`` — one-way propagation delay, paid once per direction of a
+  message stream (messages in a stream are pipelined, as over TCP);
+* ``per_message_overhead_s`` — fixed cost per message (framing,
+  serialization, syscalls).  For the paper's unbatched protocol, which
+  ships each encrypted index as its own message, this term is what makes
+  communication time visible even on the gigabit switch.
+
+Presets are in :data:`links`; each is calibrated in
+:mod:`repro.experiments.environments` discussion and DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError
+
+__all__ = ["LinkModel", "links"]
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """A point-to-point communication medium.
+
+    Attributes:
+        name: human-readable identifier used in reports.
+        bandwidth_bps: sustained throughput in bits per second.
+        latency_s: one-way propagation delay in seconds.
+        per_message_overhead_s: fixed per-message cost in seconds
+            (marshalling + socket write), paid by the sending side.
+    """
+
+    name: str
+    bandwidth_bps: float
+    latency_s: float
+    per_message_overhead_s: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ParameterError("bandwidth must be positive")
+        if self.latency_s < 0 or self.per_message_overhead_s < 0:
+            raise ParameterError("latency and overhead must be non-negative")
+
+    def transfer_seconds(self, payload_bytes: int, messages: int = 1) -> float:
+        """Time to move ``messages`` messages totalling ``payload_bytes``.
+
+        Messages are assumed pipelined (a continuous stream), so
+        propagation latency is paid once for the stream while bandwidth
+        and per-message overhead scale with volume.
+        """
+        if payload_bytes < 0:
+            raise ParameterError("payload size must be non-negative")
+        if messages < 0:
+            raise ParameterError("message count must be non-negative")
+        if payload_bytes == 0 and messages == 0:
+            return 0.0
+        serial = payload_bytes * 8.0 / self.bandwidth_bps
+        return self.latency_s + serial + messages * self.per_message_overhead_s
+
+    def seconds_per_message(self, payload_bytes: int) -> float:
+        """Marginal cost of one more message of ``payload_bytes`` in a stream."""
+        return (
+            payload_bytes * 8.0 / self.bandwidth_bps + self.per_message_overhead_s
+        )
+
+
+class _LinkPresets:
+    """The communication media of the paper (attribute-style access).
+
+    ``cluster``   — the Stevens HPC facility: gigabit host NICs behind a
+                    64 Gbps switch (Figures 2, 4, 5, 7, 9).
+    ``modem``     — the Chicago <-> Hoboken 56 Kbps dial-up connection
+                    (Figures 3 and 6).
+    ``wireless_multihop`` — the decelerated medium the paper's abstract
+                    motivates: ~500 Kbps effective with multihop latency.
+    ``loopback``  — effectively free communication, for isolating compute.
+    """
+
+    def __init__(self) -> None:
+        self.cluster = LinkModel(
+            name="cluster-gigabit",
+            bandwidth_bps=1e9,
+            latency_s=100e-6,
+            per_message_overhead_s=450e-6,
+        )
+        self.modem = LinkModel(
+            name="modem-56k",
+            bandwidth_bps=56e3,
+            latency_s=150e-3,
+            per_message_overhead_s=450e-6,
+        )
+        self.wireless_multihop = LinkModel(
+            name="wireless-multihop",
+            bandwidth_bps=500e3,
+            latency_s=40e-3,
+            per_message_overhead_s=450e-6,
+        )
+        self.loopback = LinkModel(
+            name="loopback",
+            bandwidth_bps=1e12,
+            latency_s=0.0,
+            per_message_overhead_s=0.0,
+        )
+
+    def by_name(self, name: str) -> LinkModel:
+        for link in vars(self).values():
+            if isinstance(link, LinkModel) and link.name == name:
+                return link
+        raise ParameterError("unknown link preset %r" % name)
+
+
+links = _LinkPresets()

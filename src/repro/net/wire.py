@@ -1,0 +1,82 @@
+"""Protocol message framing and size accounting.
+
+Every message a protocol sends is wrapped in a :class:`Message` carrying
+its type tag, payload, and *wire size* — the number of bytes the message
+would occupy serialized, which is what the link models charge for.
+Payloads stay as Python objects in transit (the channel is in-memory);
+sizes come from the scheme's ciphertext size plus fixed framing, so the
+byte counts match what a real socket deployment would move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List
+
+from repro.crypto.serialization import FRAME_HEADER_BYTES
+
+__all__ = ["Message", "MessageLog", "vector_wire_bytes"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol message.
+
+    Attributes:
+        kind: message type tag (e.g. ``"enc-indices"``, ``"result"``).
+        payload: the in-memory payload object.
+        wire_bytes: serialized size including framing.
+        sender: name of the sending party.
+    """
+
+    kind: str
+    payload: Any
+    wire_bytes: int
+    sender: str
+
+    def __post_init__(self) -> None:
+        if self.wire_bytes < 0:
+            raise ValueError("wire size must be non-negative")
+
+
+@dataclass
+class MessageLog:
+    """Transcript of messages seen from one party's point of view.
+
+    Privacy audits (:mod:`repro.spfe.privacy`) inspect these transcripts:
+    the server's log must contain only ciphertexts and key material, never
+    a plaintext index.
+    """
+
+    entries: List[Message] = field(default_factory=list)
+
+    def record(self, message: Message) -> None:
+        """Append a received message to the transcript."""
+        self.entries.append(message)
+
+    def total_bytes(self) -> int:
+        """Sum of wire sizes over the transcript."""
+        return sum(m.wire_bytes for m in self.entries)
+
+    def count(self, kind: str = "") -> int:
+        """Number of messages (optionally of one kind)."""
+        if not kind:
+            return len(self.entries)
+        return sum(1 for m in self.entries if m.kind == kind)
+
+    def payloads(self, kind: str) -> List[Any]:
+        """Payloads of every message of one kind, in order."""
+        return [m.payload for m in self.entries if m.kind == kind]
+
+
+def vector_wire_bytes(count: int, element_bytes: int, per_message: bool) -> int:
+    """Wire size of a ``count``-element vector of fixed-size elements.
+
+    ``per_message=True`` models the paper's unbatched protocol, which
+    ships each element as its own framed message; ``False`` models one
+    framed message carrying the whole vector (or one batch).
+    """
+    if count < 0 or element_bytes < 0:
+        raise ValueError("sizes must be non-negative")
+    frames = count if per_message else 1
+    return count * element_bytes + frames * FRAME_HEADER_BYTES

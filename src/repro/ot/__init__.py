@@ -1,0 +1,13 @@
+"""Oblivious transfer: the input-delivery primitive of the Yao baseline."""
+
+from repro.ot.dh import DHOTReceiver, DHOTSender, dh_oblivious_transfer
+from repro.ot.egl import OTReceiver, OTSender, oblivious_transfer
+
+__all__ = [
+    "DHOTReceiver",
+    "DHOTSender",
+    "OTReceiver",
+    "OTSender",
+    "dh_oblivious_transfer",
+    "oblivious_transfer",
+]

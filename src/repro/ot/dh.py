@@ -1,0 +1,155 @@
+"""Bellare–Micali style 1-out-of-2 oblivious transfer from DDH.
+
+A second OT instantiation over the Schnorr groups of
+:mod:`repro.crypto.elgamal`, so the Yao baseline is not tied to one
+hardness assumption (and so the OT abstraction in the tests has two
+independent implementations to cross-check).
+
+Protocol (semi-honest):
+
+1. The sender publishes a random group element ``c`` whose discrete log
+   nobody knows.
+2. The receiver with choice bit ``b`` picks ``x``, sets
+   ``pk_b = g^x`` and ``pk_{1-b} = c / g^x``, and sends ``pk_0``.
+   (The sender derives ``pk_1 = c / pk_0``; the receiver can know the
+   discrete log of at most one of the two.)
+3. The sender hashed-ElGamal-encrypts ``m_i`` under ``pk_i`` and sends
+   both ciphertexts.
+4. The receiver decrypts only the one it holds ``x`` for.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Tuple
+
+from repro.crypto.elgamal import SchnorrGroup, _PRECOMPUTED_SAFE_PRIMES
+from repro.crypto.ntheory import modinv
+from repro.crypto.rng import RandomSource, as_random_source
+from repro.exceptions import OTError
+
+__all__ = ["DHOTSender", "DHOTReceiver", "dh_oblivious_transfer", "default_group"]
+
+
+def default_group() -> SchnorrGroup:
+    """The precomputed 256-bit safe-prime group."""
+    return SchnorrGroup(_PRECOMPUTED_SAFE_PRIMES[256])
+
+
+def _kdf(shared: int, tag: int, length: int) -> int:
+    """Hash a group element into a ``length``-byte one-time pad."""
+    out = b""
+    counter = 0
+    payload = shared.to_bytes((shared.bit_length() + 7) // 8 or 1, "big")
+    while len(out) < length:
+        out += hashlib.sha256(
+            b"repro-dh-ot" + bytes([tag, counter]) + payload
+        ).digest()
+        counter += 1
+    return int.from_bytes(out[:length], "big")
+
+
+class DHOTSender:
+    """The message holder."""
+
+    def __init__(
+        self,
+        m0: int,
+        m1: int,
+        group: Optional[SchnorrGroup] = None,
+        rng: Optional[RandomSource] = None,
+    ) -> None:
+        if m0 < 0 or m1 < 0:
+            raise OTError("messages must be non-negative integers")
+        self.group = group or default_group()
+        self._rng = as_random_source(rng)
+        self._m = (m0, m1)
+        self._pad_bytes = max(
+            (m0.bit_length() + 7) // 8, (m1.bit_length() + 7) // 8, 16
+        )
+        self._c: Optional[int] = None
+
+    def round1(self) -> int:
+        """Publish c = g^s for a throwaway s (no one keeps its dlog)."""
+        s = self.group.random_exponent(self._rng)
+        self._c = pow(self.group.g, s, self.group.p)
+        return self._c
+
+    def round2(self, pk0: int) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+        """Encrypt each message under the corresponding derived key."""
+        if self._c is None:
+            raise OTError("round1 must run before round2")
+        if not self.group.contains(pk0):
+            raise OTError("receiver key is not a group element")
+        p = self.group.p
+        pk1 = self._c * modinv(pk0, p) % p
+        ciphertexts = []
+        for tag, (pk, m) in enumerate(((pk0, self._m[0]), (pk1, self._m[1]))):
+            r = self.group.random_exponent(self._rng)
+            shared = pow(pk, r, p)
+            pad = _kdf(shared, tag, self._pad_bytes)
+            ciphertexts.append((pow(self.group.g, r, p), m ^ pad))
+        return ciphertexts[0], ciphertexts[1]
+
+    @property
+    def pad_bytes(self) -> int:
+        return self._pad_bytes
+
+
+class DHOTReceiver:
+    """The chooser."""
+
+    def __init__(
+        self,
+        choice: int,
+        group: Optional[SchnorrGroup] = None,
+        rng: Optional[RandomSource] = None,
+    ) -> None:
+        if choice not in (0, 1):
+            raise OTError("choice must be a bit")
+        self.choice = choice
+        self.group = group or default_group()
+        self._rng = as_random_source(rng)
+        self._x: Optional[int] = None
+
+    def round1(self, c: int) -> int:
+        """Send pk_0; the receiver holds the dlog of pk_choice only."""
+        if not self.group.contains(c):
+            raise OTError("sender element is not in the group")
+        p = self.group.p
+        self._x = self.group.random_exponent(self._rng)
+        my_pk = pow(self.group.g, self._x, p)
+        if self.choice == 0:
+            return my_pk
+        return c * modinv(my_pk, p) % p
+
+    def round2(
+        self,
+        ct0: Tuple[int, int],
+        ct1: Tuple[int, int],
+        pad_bytes: int,
+    ) -> int:
+        """Decrypt the chosen ciphertext with x."""
+        if self._x is None:
+            raise OTError("round1 must run before round2")
+        c1, masked = ct1 if self.choice else ct0
+        shared = pow(c1, self._x, self.group.p)
+        return masked ^ _kdf(shared, self.choice, pad_bytes)
+
+
+def dh_oblivious_transfer(
+    m0: int,
+    m1: int,
+    choice: int,
+    group: Optional[SchnorrGroup] = None,
+    rng: Optional[RandomSource] = None,
+) -> int:
+    """One complete DDH-based exchange (both roles in-process)."""
+    source = as_random_source(rng)
+    group = group or default_group()
+    sender = DHOTSender(m0, m1, group, source)
+    receiver = DHOTReceiver(choice, group, source)
+    c = sender.round1()
+    pk0 = receiver.round1(c)
+    ct0, ct1 = sender.round2(pk0)
+    return receiver.round2(ct0, ct1, sender.pad_bytes)

@@ -1,0 +1,118 @@
+"""Even–Goldreich–Lempel 1-out-of-2 oblivious transfer (from RSA).
+
+The evaluator of a garbled circuit must obtain the wire label matching
+each of its input bits without revealing the bit (client privacy) and
+without learning the other label (which would let it evaluate the
+circuit on other inputs — database privacy).  OT is exactly that
+primitive, and EGL is its classic trapdoor-permutation instantiation:
+
+1. The sender publishes an RSA key and two random group elements
+   ``x_0, x_1``.
+2. The receiver blinds the one it wants: ``v = x_b + k^e mod N`` for a
+   random ``k``.
+3. The sender, who cannot tell which ``x`` was used, unblinds both ways
+   (``k_i = (v - x_i)^d``) and replies ``m_i + k_i`` for both messages.
+4. The receiver knows only ``k_b``, so it recovers exactly ``m_b``.
+
+Semi-honest security — the standard assumption for this protocol
+family (and for the paper's setting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.rng import RandomSource, as_random_source
+from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey, generate_rsa_keypair
+from repro.exceptions import OTError
+
+__all__ = ["OTSender", "OTReceiver", "oblivious_transfer"]
+
+DEFAULT_OT_BITS = 512
+
+
+class OTSender:
+    """The message holder (the garbler, in Yao's protocol)."""
+
+    def __init__(
+        self,
+        m0: int,
+        m1: int,
+        key_bits: int = DEFAULT_OT_BITS,
+        rng: Optional[RandomSource] = None,
+    ) -> None:
+        self._rng = as_random_source(rng)
+        keypair = generate_rsa_keypair(key_bits, self._rng)
+        self._public: RSAPublicKey = keypair.public
+        self._private: RSAPrivateKey = keypair.private
+        if not (0 <= m0 < self._public.n and 0 <= m1 < self._public.n):
+            raise OTError("messages must lie in [0, N)")
+        self._m0 = m0
+        self._m1 = m1
+        self._x: Optional[Tuple[int, int]] = None
+
+    def round1(self) -> Tuple[RSAPublicKey, int, int]:
+        """Publish the key and the two random elements x_0, x_1."""
+        x0 = self._public.random_element(self._rng)
+        x1 = self._public.random_element(self._rng)
+        while x1 == x0:
+            x1 = self._public.random_element(self._rng)
+        self._x = (x0, x1)
+        return self._public, x0, x1
+
+    def round2(self, v: int) -> Tuple[int, int]:
+        """Blindly answer both messages; only one is recoverable."""
+        if self._x is None:
+            raise OTError("round1 must run before round2")
+        n = self._public.n
+        k0 = self._private.invert((v - self._x[0]) % n)
+        k1 = self._private.invert((v - self._x[1]) % n)
+        return (self._m0 + k0) % n, (self._m1 + k1) % n
+
+
+class OTReceiver:
+    """The chooser (the circuit evaluator)."""
+
+    def __init__(self, choice: int, rng: Optional[RandomSource] = None) -> None:
+        if choice not in (0, 1):
+            raise OTError("choice must be a bit")
+        self.choice = choice
+        self._rng = as_random_source(rng)
+        self._k: Optional[int] = None
+        self._public: Optional[RSAPublicKey] = None
+
+    def round1(self, public: RSAPublicKey, x0: int, x1: int) -> int:
+        """Blind the chosen element with a random k."""
+        self._public = public
+        self._k = public.random_element(self._rng)
+        chosen_x = x1 if self.choice else x0
+        return (chosen_x + public.apply(self._k)) % public.n
+
+    def round2(self, reply0: int, reply1: int) -> int:
+        """Unblind the chosen message."""
+        if self._k is None or self._public is None:
+            raise OTError("round1 must run before round2")
+        chosen = reply1 if self.choice else reply0
+        return (chosen - self._k) % self._public.n
+
+
+def oblivious_transfer(
+    m0: int,
+    m1: int,
+    choice: int,
+    key_bits: int = DEFAULT_OT_BITS,
+    rng: Optional[RandomSource] = None,
+) -> int:
+    """One complete EGL exchange (both roles in-process, for tests/Yao).
+
+    Returns ``m_choice``; the transcript structure is identical to the
+    two-party message flow above.
+    """
+    source = as_random_source(rng)
+    sender = OTSender(m0, m1, key_bits, source)
+    receiver = OTReceiver(choice, source)
+    public, x0, x1 = sender.round1()
+    v = receiver.round1(public, x0, x1)
+    reply0, reply1 = sender.round2(v)
+    return receiver.round2(reply0, reply1)

@@ -1,0 +1,86 @@
+"""The paper's contribution: selective private function evaluation
+protocols for private statistics over a remote database.
+
+Protocol family (one module per paper section):
+
+* :class:`SelectedSumProtocol` — the plain protocol (§2, Figure 1).
+* :class:`BatchedSelectedSumProtocol` — pipeline batching (§3.2).
+* :class:`PreprocessedSelectedSumProtocol` — offline encryption (§3.3).
+* :class:`CombinedSelectedSumProtocol` — both (§3.4).
+* :class:`MultiClientSelectedSumProtocol` — k blinded clients (§3.5).
+* :class:`PrivateStatisticsClient` — means/variances/weighted averages (§1).
+* baselines, the privacy/performance tradeoff (§4 future work), and PIR.
+"""
+
+from repro.spfe.base import SelectedSumBase
+from repro.spfe.baselines import (
+    DownloadDatabaseProtocol,
+    NonPrivateIndexProtocol,
+    YaoBaselineProtocol,
+)
+from repro.spfe.batching import PAPER_BATCH_SIZE, BatchedSelectedSumProtocol
+from repro.spfe.combined import CombinedSelectedSumProtocol
+from repro.spfe.context import CLIENT, SERVER, ExecutionContext
+from repro.spfe.estimator import CostEstimate, ProtocolCostEstimator
+from repro.spfe.grouped import GroupedSumProtocol, GroupedSumResult, group_means
+from repro.spfe.multiclient import PAPER_CLIENT_COUNT, MultiClientSelectedSumProtocol
+from repro.spfe.multidatabase import DistributedSelectedSumProtocol
+from repro.spfe.pir import LinearPIRProtocol, SquareRootPIRProtocol
+from repro.spfe.planner import ProtocolPlanner, QueryPlan
+from repro.spfe.preprocessing import EncryptionPool, PreprocessedSelectedSumProtocol
+from repro.spfe.privacy import (
+    audit_client_privacy,
+    audit_database_privacy,
+    audit_result,
+)
+from repro.spfe.result import SumRunResult
+from repro.spfe.selected_sum import SelectedSumProtocol, private_selected_sum
+from repro.spfe.session import ClientSession, ServerSession, run_sessions_in_memory
+from repro.spfe.statistics import (
+    PrivateStatisticsClient,
+    StatisticResult,
+    elementwise_product,
+)
+from repro.spfe.table_client import PrivateTableClient
+from repro.spfe.tradeoff import PartialPrivacySumProtocol
+
+__all__ = [
+    "BatchedSelectedSumProtocol",
+    "CLIENT",
+    "ClientSession",
+    "CostEstimate",
+    "DistributedSelectedSumProtocol",
+    "CombinedSelectedSumProtocol",
+    "DownloadDatabaseProtocol",
+    "EncryptionPool",
+    "ExecutionContext",
+    "GroupedSumProtocol",
+    "GroupedSumResult",
+    "LinearPIRProtocol",
+    "MultiClientSelectedSumProtocol",
+    "NonPrivateIndexProtocol",
+    "PAPER_BATCH_SIZE",
+    "PAPER_CLIENT_COUNT",
+    "PartialPrivacySumProtocol",
+    "PreprocessedSelectedSumProtocol",
+    "PrivateStatisticsClient",
+    "PrivateTableClient",
+    "ProtocolCostEstimator",
+    "ProtocolPlanner",
+    "QueryPlan",
+    "SERVER",
+    "SelectedSumBase",
+    "SelectedSumProtocol",
+    "ServerSession",
+    "SquareRootPIRProtocol",
+    "StatisticResult",
+    "SumRunResult",
+    "YaoBaselineProtocol",
+    "audit_client_privacy",
+    "audit_database_privacy",
+    "audit_result",
+    "elementwise_product",
+    "group_means",
+    "private_selected_sum",
+    "run_sessions_in_memory",
+]

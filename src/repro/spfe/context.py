@@ -1,0 +1,170 @@
+"""Execution context: scheme + link + hardware profiles + timing mode.
+
+An :class:`ExecutionContext` wires together everything a protocol run
+needs and answers one question for the protocol code: *how long did this
+block of work take, for this party?*  Two answers are possible:
+
+* ``mode="modelled"`` — durations come from the party's
+  :class:`~repro.timing.costmodel.HardwareProfile` via explicit operation
+  charges.  The scheme defaults to
+  :class:`~repro.crypto.simulated.SimulatedPaillier` so paper-scale runs
+  (n = 100,000) finish in milliseconds of real time while reporting 2004
+  minutes of modelled time.
+* ``mode="measured"`` — durations are wall-clock measurements of the
+  real cryptosystem (default :class:`~repro.crypto.paillier.PaillierScheme`).
+  Communication is still modelled from the link (the channel is
+  in-memory), which DESIGN.md §3 documents.
+
+Protocol code is identical under both modes::
+
+    with ctx.compute(CLIENT, Op.ENCRYPT, count=n) as block:
+        cts = scheme.encrypt_vector(pk, bits, rng)
+    encrypt_seconds = block.seconds
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+from repro.crypto.paillier import PaillierScheme
+from repro.crypto.rng import RandomSource, as_random_source
+from repro.crypto.scheme import AdditiveHomomorphicScheme, SchemeKeyPair
+from repro.crypto.simulated import SimulatedPaillier
+from repro.exceptions import ParameterError
+from repro.net.channel import Channel
+from repro.net.link import LinkModel, links
+from repro.timing.costmodel import HardwareProfile, Op, profiles
+
+__all__ = ["ExecutionContext", "ComputeBlock", "CLIENT", "SERVER"]
+
+CLIENT = "client"
+SERVER = "server"
+
+_MODES = ("modelled", "measured")
+
+
+class ComputeBlock:
+    """Context manager that yields the duration of a block of party work."""
+
+    def __init__(
+        self,
+        mode: str,
+        profile: HardwareProfile,
+        op: Op,
+        count: int,
+        key_bits: int,
+    ) -> None:
+        self._mode = mode
+        self._profile = profile
+        self._op = op
+        self._count = count
+        self._key_bits = key_bits
+        self._started = 0.0
+        self.seconds = 0.0
+
+    def __enter__(self) -> "ComputeBlock":
+        if self._mode == "measured":
+            self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if exc_info[0] is not None:
+            return
+        if self._mode == "measured":
+            self.seconds = time.perf_counter() - self._started
+        else:
+            self.seconds = self._count * self._profile.cost(
+                self._op, self._key_bits
+            )
+
+
+class ExecutionContext:
+    """Everything one protocol run needs, bundled.
+
+    Args:
+        scheme: homomorphic scheme; defaults by mode (see module docs).
+        link: communication medium (default: the paper's cluster switch).
+        client_profile / server_profile: hardware models for the two
+            sides (defaults: the paper's Pentium-III 2 GHz for both, as
+            in the short-distance experiments).
+        key_bits: key size used for both key generation and cost scaling
+            (default 512, the paper's).
+        mode: "modelled" or "measured".
+        rng: randomness for key generation / encryption; seeds accepted.
+    """
+
+    def __init__(
+        self,
+        scheme: Optional[AdditiveHomomorphicScheme] = None,
+        link: Optional[LinkModel] = None,
+        client_profile: Optional[HardwareProfile] = None,
+        server_profile: Optional[HardwareProfile] = None,
+        key_bits: int = 512,
+        mode: str = "modelled",
+        rng: Union[RandomSource, bytes, str, int, None] = None,
+    ) -> None:
+        if mode not in _MODES:
+            raise ParameterError("mode must be one of %s, got %r" % (_MODES, mode))
+        if key_bits < 16:
+            raise ParameterError("key_bits too small: %d" % key_bits)
+        if scheme is None:
+            scheme = SimulatedPaillier() if mode == "modelled" else PaillierScheme()
+        self.scheme = scheme
+        self.link = link if link is not None else links.cluster
+        self.client_profile = client_profile or profiles.pentium3_2ghz
+        self.server_profile = server_profile or profiles.pentium3_2ghz
+        self.key_bits = key_bits
+        self.mode = mode
+        self.rng = as_random_source(rng)
+        self._channel_counter = 0
+
+    # -- wiring ----------------------------------------------------------------
+
+    def profile_for(self, party: str) -> HardwareProfile:
+        """Profile lookup: any ``client*`` party uses the client profile."""
+        if party.startswith(CLIENT):
+            return self.client_profile
+        if party.startswith(SERVER):
+            return self.server_profile
+        raise ParameterError("unknown party %r" % party)
+
+    def new_channel(self) -> Channel:
+        """A fresh byte-accounted channel on this context's link."""
+        self._channel_counter += 1
+        return Channel(self.link, "channel-%d" % self._channel_counter)
+
+    def generate_keypair(self, party: str = CLIENT) -> "tuple[SchemeKeyPair, float]":
+        """Generate a key pair, returning ``(keypair, seconds)``."""
+        with self.compute(party, Op.KEYGEN) as block:
+            keypair = self.scheme.generate(self.key_bits, self.rng)
+        return keypair, block.seconds
+
+    # -- timing -------------------------------------------------------------------
+
+    def compute(self, party: str, op: Op, count: int = 1) -> ComputeBlock:
+        """Duration of a block of ``count`` operations by ``party``."""
+        if count < 0:
+            raise ParameterError("operation count must be non-negative")
+        return ComputeBlock(
+            self.mode, self.profile_for(party), op, count, self.key_bits
+        )
+
+    def op_cost(self, party: str, op: Op) -> float:
+        """Modelled per-op cost (used for pipeline stage construction)."""
+        return self.profile_for(party).cost(op, self.key_bits)
+
+    def ciphertext_bytes(self, public_key: object) -> int:
+        """Wire size of one ciphertext under ``public_key``."""
+        return self.scheme.ciphertext_size_bytes(public_key)
+
+    def describe(self) -> str:
+        """One-line human-readable description of the wiring."""
+        return "%s/%s client=%s server=%s key=%d (%s)" % (
+            self.scheme.name,
+            self.link.name,
+            self.client_profile.name,
+            self.server_profile.name,
+            self.key_bits,
+            self.mode,
+        )

@@ -1,0 +1,266 @@
+"""Multiple distributed databases — the extension the paper points at.
+
+§1 of the paper: "This protocol, as well as some of the others of
+Canetti et al. [5], can easily be extended to work for multiple
+distributed databases."  This module is that extension: the data is
+horizontally partitioned across k independent servers, and the client
+computes one sum across all of them.
+
+The client encrypts its index vector once (under its own key) and sends
+each server the slice covering that server's partition.  Each server
+computes its partial product ``E(P_j)``; because all partials are
+encrypted under the *same* client key, the client simply multiplies the
+k replies — homomorphically adding the partials — and decrypts once.
+
+Two privacy postures for the partials:
+
+* ``hide_partials=False`` (default): the client may decrypt each
+  server's reply individually, learning per-server subtotals.  Each
+  server's own guarantee ("the client learns only the agreed aggregate
+  of *my* data") still holds — this is the natural setting when each
+  server is an independent data owner.
+* ``hide_partials=True``: the servers jointly insist the client learn
+  only the *global* sum.  Server 0 acts as coordinator and distributes
+  blinding values R_1..R_k with sum 0 (mod B) over server-to-server
+  channels (same statistical-blinding construction as the §3.5
+  multi-client protocol, see DESIGN.md §3 substitution 6); each server
+  adds E(R_j) before replying, so individual replies decrypt to noise
+  while their homomorphic sum is exact.
+
+Timing model: the k client→server transfers and the k server passes
+proceed in parallel (independent machines); the client's encryption is
+the sequential prefix, as in the plain protocol.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.crypto.ntheory import bytes_for_bits
+from repro.crypto.scheme import SchemeKeyPair
+from repro.crypto.serialization import FRAME_HEADER_BYTES
+from repro.datastore.database import ServerDatabase
+from repro.exceptions import ParameterError, ProtocolError
+from repro.spfe.base import MSG_ENC_INDEX, MSG_RESULT, SelectedSumBase
+from repro.spfe.context import CLIENT, ExecutionContext
+from repro.spfe.result import SumRunResult
+from repro.timing.clock import VirtualClock
+from repro.timing.costmodel import Op
+from repro.timing.report import TimingBreakdown
+
+__all__ = ["DistributedSelectedSumProtocol"]
+
+DEFAULT_SIGMA = 40
+
+
+class DistributedSelectedSumProtocol(SelectedSumBase):
+    """One private sum over k horizontally partitioned databases."""
+
+    protocol_name = "multidatabase"
+
+    def __init__(
+        self,
+        context: Optional[ExecutionContext] = None,
+        hide_partials: bool = False,
+        sigma: int = DEFAULT_SIGMA,
+    ) -> None:
+        super().__init__(context)
+        if sigma < 1:
+            raise ParameterError("sigma must be positive")
+        self.hide_partials = hide_partials
+        self.sigma = sigma
+
+    def run_distributed(
+        self,
+        databases: Sequence[ServerDatabase],
+        selection: Sequence[int],
+        keypair: Optional[SchemeKeyPair] = None,
+    ) -> SumRunResult:
+        """Compute the selected sum over the concatenation of ``databases``.
+
+        Args:
+            databases: one partition per server (at least 2).
+            selection: weights over the concatenated index space.
+            keypair: optional key reuse, as in the single-server protocols.
+        """
+        ctx = self.ctx
+        scheme = ctx.scheme
+        if len(databases) < 2:
+            raise ParameterError(
+                "distributed protocol needs at least 2 servers; "
+                "use SelectedSumProtocol for one"
+            )
+        value_bits = {db.value_bits for db in databases}
+        if len(value_bits) != 1:
+            raise ProtocolError("partitions must share a value width")
+        total_n = sum(len(db) for db in databases)
+        if len(selection) != total_n:
+            raise ParameterError(
+                "selection length %d != total database size %d"
+                % (len(selection), total_n)
+            )
+        combined = ServerDatabase(
+            [v for db in databases for v in db.values],
+            value_bits=value_bits.pop(),
+        )
+        m = self.validate_inputs(combined, selection)
+
+        keygen_s = 0.0
+        if keypair is None:
+            keypair, keygen_s = ctx.generate_keypair(CLIENT)
+        public, private = keypair.public, keypair.private
+        self.check_capacity(combined, selection, public)
+
+        blinds = (
+            self._blinds(combined, len(databases)) if self.hide_partials else None
+        )
+        if blinds is not None:
+            worst = sum(selection) * (2**combined.value_bits - 1) + len(
+                databases
+            ) * self._blind_modulus(combined)
+            if worst >= scheme.plaintext_modulus(public):
+                raise ProtocolError(
+                    "blinded distributed sum can wrap the plaintext space"
+                )
+
+        channels = [ctx.new_channel() for _ in databases]
+        client_clock = VirtualClock()
+        server_clocks = [VirtualClock() for _ in databases]
+
+        # Client encrypts the whole vector once.
+        with ctx.compute(CLIENT, Op.ENCRYPT, total_n) as enc_block:
+            ciphertexts = scheme.encrypt_vector(public, selection, ctx.rng)
+        client_clock.advance(enc_block.seconds)
+
+        # Coordinator blinding distribution: server 0 sends each peer its
+        # share over server-to-server links (same medium), off the
+        # client's channels.  Accounted as communication time + bytes.
+        blind_comm_s = 0.0
+        blind_bytes = 0
+        if blinds is not None:
+            share_bytes = (
+                bytes_for_bits(self._blind_modulus(combined).bit_length())
+                + FRAME_HEADER_BYTES
+            )
+            for _ in range(1, len(databases)):
+                blind_comm_s += ctx.link.seconds_per_message(share_bytes)
+                blind_bytes += share_bytes
+            blind_comm_s += ctx.link.latency_s
+
+        # Fan out every slice first (the k uplinks run in parallel; the
+        # client's sends are free once the ciphertexts exist), then let
+        # each server compute, then collect all replies.  The client's
+        # clock advances to the *latest* reply arrival, so the makespan
+        # reflects genuinely parallel servers.
+        server_s = comm_s = 0.0
+        fan_out_time = client_clock.now
+        reply_arrivals = []
+        offset = 0
+        for j, database in enumerate(databases):
+            channel = channels[j]
+            srv_clock = server_clocks[j]
+
+            t_pk = channel.client_send(self.public_key_message(public), fan_out_time)
+            srv_clock.wait_until(t_pk)
+            channel.server_recv()
+
+            slice_cts = ciphertexts[offset : offset + len(database)]
+            last_arrival = fan_out_time
+            for ct in slice_cts:
+                msg = self.ciphertext_message(MSG_ENC_INDEX, ct, public, CLIENT)
+                last_arrival = channel.client_send(msg, fan_out_time)
+            comm_s += last_arrival - fan_out_time
+            srv_clock.wait_until(last_arrival)
+            received = [channel.server_recv()[0].payload for _ in slice_cts]
+
+            with ctx.compute("server", Op.WEIGHTED_STEP, len(database)) as srv_block:
+                partial = scheme.weighted_product(public, received, database.values)
+            step_s = srv_block.seconds
+            if blinds is not None:
+                with ctx.compute("server", Op.ENCRYPT, 1) as blind_enc:
+                    enc_blind = scheme.encrypt(public, blinds[j], ctx.rng)
+                with ctx.compute("server", Op.CIPHER_ADD, 1) as blind_add:
+                    partial = scheme.ciphertext_add(public, partial, enc_blind)
+                step_s += blind_enc.seconds + blind_add.seconds
+            srv_clock.advance(step_s)
+            server_s += step_s
+
+            reply = self.ciphertext_message(MSG_RESULT, partial, public, "server")
+            reply_started = srv_clock.now
+            arrival = channel.server_send(reply, srv_clock.now)
+            comm_s += arrival - reply_started
+            reply_arrivals.append(arrival)
+            offset += len(database)
+
+        client_clock.wait_until(max(reply_arrivals))
+        replies = [channel.client_recv()[0].payload for channel in channels]
+
+        # Client combines the k encrypted partials and decrypts once.
+        with ctx.compute(CLIENT, Op.CIPHER_ADD, len(replies) - 1) as add_block:
+            aggregate = replies[0]
+            for reply in replies[1:]:
+                aggregate = scheme.ciphertext_add(public, aggregate, reply)
+        client_clock.advance(add_block.seconds)
+
+        with ctx.compute(CLIENT, Op.DECRYPT, 1) as dec_block:
+            raw_value = scheme.decrypt(private, aggregate)
+        client_clock.advance(dec_block.seconds)
+
+        if blinds is not None:
+            # Sum of blinds ≡ 0 (mod B); the raw value carries the exact
+            # integer sum of (partials + blinds), so reduce mod B.
+            value = raw_value % self._blind_modulus(combined)
+        else:
+            value = raw_value
+
+        for channel in channels:
+            channel.drain_check()
+        breakdown = TimingBreakdown(
+            client_encrypt_s=enc_block.seconds,
+            server_compute_s=server_s,
+            communication_s=comm_s + blind_comm_s,
+            client_decrypt_s=dec_block.seconds,
+            combine_s=add_block.seconds,
+        )
+        return SumRunResult(
+            value=value,
+            n=total_n,
+            m=m,
+            breakdown=breakdown,
+            makespan_s=client_clock.now,
+            bytes_up=sum(c.bytes_up for c in channels),
+            bytes_down=sum(c.bytes_down for c in channels),
+            messages=sum(
+                c.uplink.messages_sent + c.downlink.messages_sent for c in channels
+            ),
+            scheme=scheme.name,
+            link=ctx.link.name,
+            protocol=self.protocol_name,
+            metadata={
+                "keygen_s": keygen_s,
+                "num_servers": len(databases),
+                "hide_partials": self.hide_partials,
+                "blind_coordination_bytes": blind_bytes if blinds is not None else 0,
+                "partition_sizes": [len(db) for db in databases],
+                "channels": channels,
+            },
+        )
+
+    # -- blinding helpers ---------------------------------------------------
+
+    def _blind_modulus(self, combined: ServerDatabase) -> int:
+        n_bits = max(1, len(combined).bit_length())
+        return 2 ** (combined.value_bits + n_bits + self.sigma)
+
+    def _blinds(self, combined: ServerDatabase, num_servers: int) -> List[int]:
+        """Coordinator-drawn shares R_1..R_k with sum ≡ 0 (mod B)."""
+        modulus = self._blind_modulus(combined)
+        shares = [self.ctx.rng.randbelow(modulus) for _ in range(num_servers - 1)]
+        shares.append(-sum(shares) % modulus)
+        return shares
+
+    def run(self, database: ServerDatabase, selection: Sequence[int]) -> SumRunResult:
+        """Not supported directly; use :meth:`run_distributed`."""
+        raise ProtocolError(
+            "use run_distributed(databases, selection) for the multi-server protocol"
+        )

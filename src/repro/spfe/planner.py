@@ -1,0 +1,148 @@
+"""Protocol selection: pick the cheapest variant for a query, analytically.
+
+The paper evaluates four single-client variants whose relative merit
+depends on the deployment: preprocessing needs offline time and client
+storage; batching needs a streaming-capable server; multi-client needs
+cooperating peers.  :class:`ProtocolPlanner` encodes those constraints,
+prices every admissible variant with the closed-form estimator, and
+returns a ranked plan — the query-optimizer shape of the decision the
+paper's §3 explores by experiment.
+
+    >>> from repro.experiments.environments import short_distance
+    >>> planner = ProtocolPlanner(short_distance.context())
+    >>> plan = planner.plan(n=100_000, allow_preprocessing=True)
+    >>> plan.best.protocol
+    'combined'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.exceptions import ParameterError
+from repro.spfe.batching import PAPER_BATCH_SIZE
+from repro.spfe.context import ExecutionContext
+from repro.spfe.estimator import CostEstimate, ProtocolCostEstimator
+
+__all__ = ["QueryPlan", "ProtocolPlanner"]
+
+
+@dataclass
+class QueryPlan:
+    """Ranked protocol choices for one query."""
+
+    n: int
+    candidates: List[CostEstimate] = field(default_factory=list)
+    rejected: List[str] = field(default_factory=list)
+
+    @property
+    def best(self) -> CostEstimate:
+        if not self.candidates:
+            raise ParameterError("no admissible protocol for these constraints")
+        return self.candidates[0]
+
+    def ranking(self) -> List[str]:
+        """Protocol names, cheapest online runtime first."""
+        return [estimate.protocol for estimate in self.candidates]
+
+    def explain(self) -> str:
+        """Human-readable plan summary."""
+        lines = ["query plan for n = %d:" % self.n]
+        for rank, estimate in enumerate(self.candidates, start=1):
+            lines.append(
+                "  %d. %-13s %8.2f min online, %8.1f KB"
+                % (
+                    rank,
+                    estimate.protocol,
+                    estimate.online_minutes(),
+                    estimate.total_bytes / 1e3,
+                )
+            )
+            offline = estimate.breakdown.offline_precompute_s
+            if offline:
+                lines[-1] += "  (+%.1f min offline)" % (offline / 60)
+        for reason in self.rejected:
+            lines.append("  excluded: %s" % reason)
+        return "\n".join(lines)
+
+
+class ProtocolPlanner:
+    """Prices the protocol family under deployment constraints."""
+
+    def __init__(self, context: Optional[ExecutionContext] = None) -> None:
+        self.ctx = context if context is not None else ExecutionContext()
+        self._estimator = ProtocolCostEstimator(self.ctx)
+
+    def plan(
+        self,
+        n: int,
+        allow_preprocessing: bool = True,
+        allow_batching: bool = True,
+        available_clients: int = 1,
+        max_offline_minutes: Optional[float] = None,
+        max_client_storage_mb: Optional[float] = None,
+        batch_size: int = PAPER_BATCH_SIZE,
+    ) -> QueryPlan:
+        """Rank admissible variants by online runtime.
+
+        Args:
+            n: database size.
+            allow_preprocessing: client can precompute offline (§3.3).
+            allow_batching: server supports streamed chunks (§3.2).
+            available_clients: cooperating clients (>=2 enables §3.5).
+            max_offline_minutes: budget for offline precomputation.
+            max_client_storage_mb: budget for the encryption pool
+                (2n ciphertexts).
+            batch_size: chunk size for the pipelined variants.
+        """
+        if n < 1:
+            raise ParameterError("database size must be positive")
+        plan = QueryPlan(n=n)
+        estimator = self._estimator
+
+        plan.candidates.append(estimator.plain(n))
+        if allow_batching:
+            plan.candidates.append(estimator.batched(n, batch_size))
+        else:
+            plan.rejected.append("batched/combined: server cannot stream chunks")
+
+        preprocessing_ok = allow_preprocessing
+        if preprocessing_ok and max_offline_minutes is not None:
+            offline_minutes = (
+                estimator.preprocessed(n).breakdown.offline_precompute_s / 60
+            )
+            if offline_minutes > max_offline_minutes:
+                preprocessing_ok = False
+                plan.rejected.append(
+                    "preprocessed/combined: offline phase needs %.1f min "
+                    "(budget %.1f)" % (offline_minutes, max_offline_minutes)
+                )
+        if preprocessing_ok and max_client_storage_mb is not None:
+            pool_mb = 2 * n * self._pool_ciphertext_bytes() / 1e6
+            if pool_mb > max_client_storage_mb:
+                preprocessing_ok = False
+                plan.rejected.append(
+                    "preprocessed/combined: pool needs %.1f MB "
+                    "(budget %.1f)" % (pool_mb, max_client_storage_mb)
+                )
+        if not allow_preprocessing:
+            plan.rejected.append("preprocessed/combined: no offline phase allowed")
+
+        if preprocessing_ok:
+            plan.candidates.append(estimator.preprocessed(n))
+            if allow_batching:
+                plan.candidates.append(estimator.combined(n, batch_size))
+
+        if available_clients >= 2:
+            plan.candidates.append(estimator.multiclient(n, available_clients))
+        elif available_clients != 1:
+            raise ParameterError("available_clients must be >= 1")
+
+        plan.candidates.sort(key=lambda estimate: estimate.makespan_s)
+        return plan
+
+    def _pool_ciphertext_bytes(self) -> int:
+        from repro.crypto.serialization import ciphertext_bytes
+
+        return ciphertext_bytes(self.ctx.key_bits)

@@ -1,0 +1,139 @@
+"""Privacy auditors: transcript-level checks of the paper's §2 requirements.
+
+The paper defines three requirements for a privacy-preserving
+client/server computation:
+
+* **Correctness** — checked by ``SumRunResult.verify`` everywhere.
+* **Client privacy** — the server must learn nothing about the selection.
+* **Database privacy** — the client must learn only the agreed output.
+
+Semantic security itself is a cryptographic assumption, not something a
+test can prove; what these auditors *can* verify mechanically is that a
+protocol's transcript has the right *shape* to inherit the guarantee:
+
+* the server's view contains only ciphertexts and key material — no
+  plaintext integers that correlate with the selection;
+* no ciphertext is ever reused (reuse would let the server link equal
+  selection bits — the pitfall of a naive §3.3 pool);
+* the client's view contains only the single encrypted result (or, in
+  the multi-client protocol, one blinded partial sum per client).
+
+The test suite runs every protocol variant through these auditors; the
+baselines deliberately fail them (and say so in ``metadata["leaks"]``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.exceptions import PrivacyViolationError
+from repro.net.channel import Channel
+from repro.spfe.base import MSG_ENC_INDEX, MSG_PUBLIC_KEY
+from repro.spfe.result import SumRunResult
+
+__all__ = [
+    "audit_client_privacy",
+    "audit_database_privacy",
+    "audit_result",
+]
+
+_ALLOWED_SERVER_KINDS = {MSG_PUBLIC_KEY, MSG_ENC_INDEX, "fetch-all"}
+
+
+def _is_plaintext_integer(payload: Any) -> bool:
+    """True for payloads that are bare integers (or containers of them).
+
+    Ciphertexts in this library are never bare ints *except* for raw
+    Paillier ciphertexts — those are ints, but live in Z_{n^2} and are
+    indistinguishable from random; we identify "suspicious" plaintexts
+    as small integers (selection bits / indices / weights are all tiny
+    compared to 1024-bit ciphertexts).
+    """
+    suspicion_bound = 1 << 64
+    if isinstance(payload, bool):
+        return True
+    if isinstance(payload, int):
+        return payload < suspicion_bound
+    if isinstance(payload, (tuple, list)):
+        return any(_is_plaintext_integer(item) for item in payload)
+    return False
+
+
+def audit_client_privacy(channel: Channel, selection: Sequence[int]) -> None:
+    """Check the server's view leaks nothing about the selection.
+
+    Raises :class:`PrivacyViolationError` if the uplink transcript
+    contains plaintext-looking integers, repeats a ciphertext, or sends
+    messages whose *count* differs from the full database size (a
+    selection-dependent message count is itself a leak).
+    """
+    enc_messages = [
+        m for m in channel.server_view.entries if m.kind == MSG_ENC_INDEX
+    ]
+    seen = set()
+    element_count = 0
+    for message in enc_messages:
+        payload = message.payload
+        items = payload if isinstance(payload, tuple) else (payload,)
+        for item in items:
+            element_count += 1
+            if _is_plaintext_integer(item):
+                raise PrivacyViolationError(
+                    "server received a plaintext-looking value: %r" % (item,)
+                )
+            marker = _ciphertext_marker(item)
+            if marker in seen:
+                raise PrivacyViolationError(
+                    "server received a repeated ciphertext — "
+                    "equal selection bits would be linkable"
+                )
+            seen.add(marker)
+    if element_count != len(selection):
+        raise PrivacyViolationError(
+            "server saw %d encrypted elements for a database of %d — "
+            "message count depends on the selection" % (element_count, len(selection))
+        )
+    for message in channel.server_view.entries:
+        if message.kind not in _ALLOWED_SERVER_KINDS:
+            raise PrivacyViolationError(
+                "unexpected message kind in server view: %r" % message.kind
+            )
+
+
+def audit_database_privacy(channel: Channel, expected_results: int = 1) -> None:
+    """Check the client's view contains only the encrypted result(s)."""
+    entries = channel.client_view.entries
+    if len(entries) != expected_results:
+        raise PrivacyViolationError(
+            "client received %d messages, expected %d (the result only)"
+            % (len(entries), expected_results)
+        )
+    for message in entries:
+        if isinstance(message.payload, (tuple, list)):
+            raise PrivacyViolationError(
+                "client received a vector — the result must be a single value"
+            )
+
+
+def audit_result(result: SumRunResult, selection: Sequence[int]) -> None:
+    """Run both audits on a finished protocol run (plain-family only)."""
+    channel = result.metadata.get("channel")
+    if channel is None:
+        raise PrivacyViolationError("run kept no channel to audit")
+    if result.metadata.get("leaks"):
+        raise PrivacyViolationError(
+            "protocol declares leaks: %s" % result.metadata["leaks"]
+        )
+    audit_client_privacy(channel, selection)
+    audit_database_privacy(channel)
+
+
+def _ciphertext_marker(item: Any) -> Any:
+    """A hashable identity for a ciphertext (for reuse detection)."""
+    if isinstance(item, int):
+        return item
+    try:
+        hash(item)
+        return item
+    except TypeError:
+        return id(item)

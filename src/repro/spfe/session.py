@@ -1,0 +1,242 @@
+"""Deployable client/server sessions speaking the byte-level protocol.
+
+The protocol engines in this package (:mod:`repro.spfe.selected_sum`
+and friends) run both parties in one process with modelled or measured
+timing — ideal for experiments.  This module is the *deployment* shape:
+two independent state machines that exchange nothing but bytes, so the
+same protocol runs over a real socket, a pipe, or any transport.
+
+* :class:`ServerSession` holds the database.  Feed it received bytes
+  via :meth:`receive_bytes`; it returns the bytes to send back (empty
+  until it has everything it needs).
+* :class:`ClientSession` holds the selection and the key pair.
+  :meth:`initial_bytes` yields the entire outgoing stream (HELLO,
+  public key, encrypted chunks); :meth:`receive_bytes` consumes the
+  server's reply and exposes :attr:`result`.
+
+The tests drive a pair of sessions through ``socket.socketpair()`` —
+real kernel buffers, real partial reads — and assert the sum is correct
+and that the server-side transcript contains only ciphertexts.
+
+Only the real Paillier scheme makes sense here (bytes are bytes), so
+sessions are fixed to :class:`~repro.crypto.paillier.PaillierScheme`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.crypto.paillier import (
+    PaillierPrivateKey,
+    PaillierPublicKey,
+    generate_keypair,
+)
+from repro.crypto.rng import RandomSource, as_random_source
+from repro.datastore.database import ServerDatabase
+from repro.exceptions import ProtocolError
+from repro.net import codec
+from repro.net.codec import Frame, FrameDecoder, FrameType
+
+__all__ = ["ClientSession", "ServerSession", "run_sessions_in_memory"]
+
+DEFAULT_CHUNK = 64
+
+
+class ClientSession:
+    """The querying side, as a byte-stream state machine."""
+
+    def __init__(
+        self,
+        selection: Sequence[int],
+        key_bits: int = 512,
+        chunk_size: int = DEFAULT_CHUNK,
+        rng: Optional[RandomSource] = None,
+    ) -> None:
+        if not selection:
+            raise ProtocolError("selection must be non-empty")
+        if any(w < 0 for w in selection):
+            raise ProtocolError("selection weights must be non-negative")
+        if chunk_size < 1:
+            raise ProtocolError("chunk size must be positive")
+        self.selection = list(selection)
+        self.key_bits = key_bits
+        self.chunk_size = chunk_size
+        self._rng = as_random_source(rng)
+        keypair = generate_keypair(key_bits, self._rng)
+        self.public_key: PaillierPublicKey = keypair.public
+        self._private_key: PaillierPrivateKey = keypair.private
+        self._decoder = FrameDecoder()
+        self.result: Optional[int] = None
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # -- outgoing ---------------------------------------------------------
+
+    def initial_bytes(self) -> Iterator[bytes]:
+        """The client's whole outgoing stream, chunk by chunk.
+
+        Yields separately so a caller can interleave with socket writes
+        (and so the server genuinely streams — it never needs the whole
+        vector in memory at once, the §3.2 point).
+        """
+        hello = codec.encode_hello(
+            self.key_bits, len(self.selection), self.chunk_size
+        )
+        self.bytes_sent += len(hello)
+        yield hello
+
+        pk = codec.encode_public_key(self.public_key.n, self.key_bits)
+        self.bytes_sent += len(pk)
+        yield pk
+
+        for start in range(0, len(self.selection), self.chunk_size):
+            chunk = self.selection[start : start + self.chunk_size]
+            ciphertexts = [
+                self.public_key.encrypt_raw(w, self._rng) for w in chunk
+            ]
+            data = codec.encode_ciphertext_chunk(ciphertexts, self.key_bits)
+            self.bytes_sent += len(data)
+            yield data
+
+    # -- incoming -----------------------------------------------------------
+
+    def receive_bytes(self, data: bytes) -> None:
+        """Consume server bytes; sets :attr:`result` when complete."""
+        self.bytes_received += len(data)
+        self._decoder.feed(data)
+        for frame in self._decoder.frames():
+            self._handle(frame)
+
+    def _handle(self, frame: Frame) -> None:
+        if frame.frame_type == FrameType.ERROR:
+            raise ProtocolError(
+                "server error: %s" % frame.payload.decode("utf-8", "replace")
+            )
+        if frame.frame_type != FrameType.RESULT:
+            raise ProtocolError(
+                "client expected RESULT, got frame type %d" % frame.frame_type
+            )
+        if self.result is not None:
+            raise ProtocolError("server sent more than one result")
+        ciphertext = codec.decode_result(frame.payload, self.key_bits)
+        self.result = self._private_key.raw_decrypt(ciphertext)
+
+
+class ServerSession:
+    """The database side, as a byte-stream state machine."""
+
+    _WAIT_HELLO = "wait-hello"
+    _WAIT_KEY = "wait-key"
+    _RECEIVING = "receiving"
+    _DONE = "done"
+
+    def __init__(self, database: ServerDatabase) -> None:
+        self.database = database
+        self._decoder = FrameDecoder()
+        self._state = self._WAIT_HELLO
+        self._key_bits = 0
+        self._chunk_size = 0
+        self._public_key: Optional[PaillierPublicKey] = None
+        self._aggregate = 1
+        self._received = 0
+        self.bytes_received = 0
+        self.bytes_sent = 0
+        #: every ciphertext seen, for transcript audits in tests
+        self.ciphertext_log: List[int] = []
+
+    def receive_bytes(self, data: bytes) -> bytes:
+        """Consume client bytes; returns reply bytes (possibly empty)."""
+        self.bytes_received += len(data)
+        out = bytearray()
+        try:
+            self._decoder.feed(data)
+            for frame in self._decoder.frames():
+                out.extend(self._handle(frame))
+        except ProtocolError as exc:
+            error = codec.encode_frame(FrameType.ERROR, str(exc).encode("utf-8"))
+            self.bytes_sent += len(error)
+            return bytes(error)
+        self.bytes_sent += len(out)
+        return bytes(out)
+
+    @property
+    def finished(self) -> bool:
+        return self._state == self._DONE
+
+    # -- state machine ---------------------------------------------------------
+
+    def _handle(self, frame: Frame) -> bytes:
+        if self._state == self._WAIT_HELLO:
+            return self._on_hello(frame)
+        if self._state == self._WAIT_KEY:
+            return self._on_key(frame)
+        if self._state == self._RECEIVING:
+            return self._on_chunk(frame)
+        raise ProtocolError("unexpected frame after protocol completion")
+
+    def _on_hello(self, frame: Frame) -> bytes:
+        if frame.frame_type != FrameType.HELLO:
+            raise ProtocolError("expected HELLO first")
+        key_bits, database_size, chunk_size = codec.decode_hello(frame.payload)
+        if database_size != len(self.database):
+            raise ProtocolError(
+                "client assumes %d elements; this database has %d"
+                % (database_size, len(self.database))
+            )
+        worst = database_size * (2**self.database.value_bits - 1)
+        if worst.bit_length() >= key_bits:
+            raise ProtocolError("key too small for the worst-case sum")
+        self._key_bits = key_bits
+        self._chunk_size = chunk_size
+        self._state = self._WAIT_KEY
+        return b""
+
+    def _on_key(self, frame: Frame) -> bytes:
+        if frame.frame_type != FrameType.PUBLIC_KEY:
+            raise ProtocolError("expected PUBLIC_KEY after HELLO")
+        n = codec.decode_public_key(frame.payload)
+        if n.bit_length() > self._key_bits:
+            raise ProtocolError("public key larger than announced")
+        self._public_key = PaillierPublicKey(n)
+        self._state = self._RECEIVING
+        return b""
+
+    def _on_chunk(self, frame: Frame) -> bytes:
+        if frame.frame_type != FrameType.ENC_CHUNK:
+            raise ProtocolError("expected ENC_CHUNK")
+        assert self._public_key is not None
+        ciphertexts = codec.decode_ciphertext_chunk(frame.payload, self._key_bits)
+        if self._received + len(ciphertexts) > len(self.database):
+            raise ProtocolError("client sent more ciphertexts than elements")
+        nsquare = self._public_key.nsquare
+        for ct in ciphertexts:
+            if not 0 < ct < nsquare:
+                raise ProtocolError("ciphertext outside Z*_{n^2}")
+            value = self.database[self._received]
+            if value:
+                self._aggregate = (
+                    self._aggregate * pow(ct, value, nsquare) % nsquare
+                )
+            self.ciphertext_log.append(ct)
+            self._received += 1
+        if self._received == len(self.database):
+            self._state = self._DONE
+            return codec.encode_result(self._aggregate, self._key_bits)
+        return b""
+
+
+def run_sessions_in_memory(
+    client: ClientSession, server: ServerSession
+) -> int:
+    """Drive a session pair to completion through in-memory byte handoff.
+
+    Returns the client's decrypted sum.  (The socket variant lives in
+    the tests; this helper is the transport-free reference driver.)
+    """
+    for outgoing in client.initial_bytes():
+        reply = server.receive_bytes(outgoing)
+        if reply:
+            client.receive_bytes(reply)
+    if client.result is None:
+        raise ProtocolError("protocol completed without a result")
+    return client.result

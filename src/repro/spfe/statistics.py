@@ -1,0 +1,219 @@
+"""Private statistics built on the selected-sum primitive — paper §1.
+
+"Such protocols immediately yield private solutions for computing means,
+variances, and weighted averages, which can be useful on their own or as
+part of a larger privacy-preserving distributed data mining protocol."
+
+This module is that layer: every statistic decomposes into one or two
+private selected sums, so each inherits the protocol's privacy
+guarantees verbatim.
+
+* mean      = Σ_S x / m                      (one sum; the client knows m)
+* variance  = Σ_S x² / m − mean²             (two sums; the server serves
+  a squared view of its database — computed locally from its own data,
+  so no extra privacy surface)
+* weighted sum / average: the paper's §2 remark — "integer weights in
+  some larger range could be used to produce a weighted sum" — the same
+  protocol run with weights in place of the 0/1 bits.
+* covariance of two server columns: one extra sum over the element-wise
+  product column.
+
+The protocol variant is pluggable, so statistics can run over the plain,
+batched, preprocessed, or combined protocol unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.datastore.database import ServerDatabase, elementwise_product
+from repro.exceptions import ParameterError, ProtocolError
+from repro.spfe.base import SelectedSumBase
+from repro.spfe.context import ExecutionContext
+from repro.spfe.result import SumRunResult
+from repro.spfe.selected_sum import SelectedSumProtocol
+from repro.timing.report import TimingBreakdown
+
+__all__ = ["StatisticResult", "PrivateStatisticsClient", "elementwise_product"]
+
+
+@dataclass
+class StatisticResult:
+    """A private statistic plus the protocol runs that produced it.
+
+    Attributes:
+        name: statistic identifier ("mean", "variance", ...).
+        value: the statistic (float; exact sums are ints in ``runs``).
+        runs: the underlying selected-sum protocol runs.
+    """
+
+    name: str
+    value: float
+    runs: List[SumRunResult] = field(default_factory=list)
+
+    @property
+    def total_breakdown(self) -> TimingBreakdown:
+        total = TimingBreakdown()
+        for run in self.runs:
+            total = total.add(run.breakdown)
+        return total
+
+    @property
+    def makespan_s(self) -> float:
+        """Runs execute sequentially (one client, one server)."""
+        return sum(run.makespan_s for run in self.runs)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(run.total_bytes for run in self.runs)
+
+
+class PrivateStatisticsClient:
+    """Client-side API for private statistics over a remote database.
+
+    Args:
+        context: execution context (scheme/link/profiles); defaults to a
+            modelled cluster context.
+        protocol_factory: which protocol variant to run each sum with
+            (default: the plain protocol; pass e.g.
+            ``lambda ctx: CombinedSelectedSumProtocol(ctx)`` to use the
+            optimized pipeline).
+    """
+
+    def __init__(
+        self,
+        context: Optional[ExecutionContext] = None,
+        protocol_factory: Optional[
+            Callable[[ExecutionContext], SelectedSumBase]
+        ] = None,
+    ) -> None:
+        self.ctx = context if context is not None else ExecutionContext()
+        self._factory = protocol_factory or (lambda ctx: SelectedSumProtocol(ctx))
+
+    # -- internals ----------------------------------------------------------
+
+    def _run_sum(
+        self, database: ServerDatabase, selection: Sequence[int]
+    ) -> SumRunResult:
+        return self._factory(self.ctx).run(database, selection)
+
+    @staticmethod
+    def _check_selection(selection: Sequence[int]) -> int:
+        m = sum(1 for w in selection if w)
+        if m == 0:
+            raise ParameterError("selection is empty; statistics undefined")
+        return m
+
+    # -- statistics ----------------------------------------------------------
+
+    def sum(
+        self, database: ServerDatabase, selection: Sequence[int]
+    ) -> StatisticResult:
+        """Private Σ_{i in S} x_i for a 0/1 selection vector."""
+        run = self._run_sum(database, selection)
+        return StatisticResult("sum", float(run.value), [run])
+
+    def count(self, selection: Sequence[int]) -> int:
+        """m is client knowledge (it chose the selection) — no protocol."""
+        return sum(1 for w in selection if w)
+
+    def mean(
+        self, database: ServerDatabase, selection: Sequence[int]
+    ) -> StatisticResult:
+        """Private mean of the selected elements."""
+        m = self._check_selection(selection)
+        run = self._run_sum(database, selection)
+        return StatisticResult("mean", run.value / m, [run])
+
+    def variance(
+        self,
+        database: ServerDatabase,
+        selection: Sequence[int],
+        ddof: int = 0,
+    ) -> StatisticResult:
+        """Private variance via two sums: Σx and Σx² (squared view).
+
+        ``ddof=0`` gives the population variance, ``ddof=1`` the sample
+        variance.
+        """
+        m = self._check_selection(selection)
+        if m - ddof <= 0:
+            raise ParameterError(
+                "need more than %d selected elements for ddof=%d" % (ddof, ddof)
+            )
+        run_sum = self._run_sum(database, selection)
+        run_sq = self._run_sum(database.squared(), selection)
+        mean = run_sum.value / m
+        variance = (run_sq.value - m * mean * mean) / (m - ddof)
+        return StatisticResult("variance", variance, [run_sum, run_sq])
+
+    def std(
+        self,
+        database: ServerDatabase,
+        selection: Sequence[int],
+        ddof: int = 0,
+    ) -> StatisticResult:
+        """Private standard deviation (sqrt of :meth:`variance`)."""
+        var = self.variance(database, selection, ddof)
+        value = math.sqrt(var.value) if var.value > 0 else 0.0
+        return StatisticResult("std", value, var.runs)
+
+    def weighted_sum(
+        self, database: ServerDatabase, weights: Sequence[int]
+    ) -> StatisticResult:
+        """Private Σ w_i x_i with non-negative integer weights."""
+        run = self._run_sum(database, weights)
+        return StatisticResult("weighted_sum", float(run.value), [run])
+
+    def weighted_average(
+        self, database: ServerDatabase, weights: Sequence[int]
+    ) -> StatisticResult:
+        """Private Σ w_i x_i / Σ w_i (the client knows its own weights)."""
+        total_weight = sum(weights)
+        if total_weight <= 0:
+            raise ParameterError("weights sum to zero; average undefined")
+        run = self._run_sum(database, weights)
+        return StatisticResult("weighted_average", run.value / total_weight, [run])
+
+    def covariance(
+        self,
+        x: ServerDatabase,
+        y: ServerDatabase,
+        selection: Sequence[int],
+        ddof: int = 0,
+    ) -> StatisticResult:
+        """Private covariance of two server columns over a selection.
+
+        cov = Σ x_i y_i / m − mean_x · mean_y  (three private sums; the
+        product column is served by the server like the squared view).
+        """
+        m = self._check_selection(selection)
+        if m - ddof <= 0:
+            raise ParameterError(
+                "need more than %d selected elements for ddof=%d" % (ddof, ddof)
+            )
+        run_x = self._run_sum(x, selection)
+        run_y = self._run_sum(y, selection)
+        run_xy = self._run_sum(elementwise_product(x, y), selection)
+        mean_x = run_x.value / m
+        mean_y = run_y.value / m
+        cov = (run_xy.value - m * mean_x * mean_y) / (m - ddof)
+        return StatisticResult("covariance", cov, [run_x, run_y, run_xy])
+
+    def correlation(
+        self,
+        x: ServerDatabase,
+        y: ServerDatabase,
+        selection: Sequence[int],
+    ) -> StatisticResult:
+        """Pearson correlation, composed from private moments."""
+        cov = self.covariance(x, y, selection)
+        std_x = self.std(x, selection)
+        std_y = self.std(y, selection)
+        denominator = std_x.value * std_y.value
+        if denominator == 0:
+            raise ProtocolError("zero variance; correlation undefined")
+        runs = cov.runs + std_x.runs + std_y.runs
+        return StatisticResult("correlation", cov.value / denominator, runs)

@@ -1,0 +1,125 @@
+"""Column-oriented private statistics over a :class:`~repro.datastore.
+table.Table`.
+
+The ergonomic top layer for the paper's motivating use case: a client
+names a column and supplies a private row selection; every statistic
+routes through the selected-sum protocol against the right server-side
+view (the raw column, its square, or a product column).
+
+    >>> from repro.datastore.table import Table
+    >>> table = Table({"age": [30, 40, 50], "bp": [110, 120, 140]},
+    ...               value_bits=16)
+    >>> client = PrivateTableClient(table)
+    >>> client.mean("age", [1, 0, 1]).value
+    40.0
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.datastore.table import Table
+from repro.spfe.base import SelectedSumBase
+from repro.spfe.context import ExecutionContext
+from repro.spfe.statistics import PrivateStatisticsClient, StatisticResult
+
+__all__ = ["PrivateTableClient"]
+
+
+class PrivateTableClient:
+    """Private per-column statistics over a named-column table."""
+
+    def __init__(
+        self,
+        table: Table,
+        context: Optional[ExecutionContext] = None,
+        protocol_factory: Optional[
+            Callable[[ExecutionContext], SelectedSumBase]
+        ] = None,
+    ) -> None:
+        self.table = table
+        self._stats = PrivateStatisticsClient(context, protocol_factory)
+
+    @property
+    def ctx(self) -> ExecutionContext:
+        return self._stats.ctx
+
+    # -- single-column statistics ------------------------------------------
+
+    def sum(self, column: str, selection: Sequence[int]) -> StatisticResult:
+        """Private sum of a column over a 0/1 row selection."""
+        return self._stats.sum(self.table.column(column), selection)
+
+    def mean(self, column: str, selection: Sequence[int]) -> StatisticResult:
+        """Private mean of a column over a row selection."""
+        return self._stats.mean(self.table.column(column), selection)
+
+    def variance(
+        self, column: str, selection: Sequence[int], ddof: int = 0
+    ) -> StatisticResult:
+        """Private variance of a column (ddof=0 population, 1 sample)."""
+        return self._stats.variance(self.table.column(column), selection, ddof)
+
+    def std(
+        self, column: str, selection: Sequence[int], ddof: int = 0
+    ) -> StatisticResult:
+        """Private standard deviation of a column."""
+        return self._stats.std(self.table.column(column), selection, ddof)
+
+    def weighted_sum(
+        self, column: str, weights: Sequence[int]
+    ) -> StatisticResult:
+        """Private weighted sum of a column."""
+        return self._stats.weighted_sum(self.table.column(column), weights)
+
+    def weighted_average(
+        self, column: str, weights: Sequence[int]
+    ) -> StatisticResult:
+        """Private weighted average of a column."""
+        return self._stats.weighted_average(self.table.column(column), weights)
+
+    # -- two-column statistics ------------------------------------------------
+
+    def covariance(
+        self,
+        x_column: str,
+        y_column: str,
+        selection: Sequence[int],
+        ddof: int = 0,
+    ) -> StatisticResult:
+        """Private covariance of two columns over a row selection."""
+        return self._stats.covariance(
+            self.table.column(x_column),
+            self.table.column(y_column),
+            selection,
+            ddof,
+        )
+
+    def correlation(
+        self, x_column: str, y_column: str, selection: Sequence[int]
+    ) -> StatisticResult:
+        """Private Pearson correlation of two columns."""
+        return self._stats.correlation(
+            self.table.column(x_column), self.table.column(y_column), selection
+        )
+
+    # -- bulk convenience ---------------------------------------------------------
+
+    def describe(self, column: str, selection: Sequence[int]) -> dict:
+        """mean/variance/std of a column in one call (three sums total).
+
+        Reuses the two underlying sum runs rather than re-running per
+        statistic.
+        """
+        m = self._stats.count(selection)
+        var = self.variance(column, selection)
+        run_sum = var.runs[0]
+        mean = run_sum.value / m
+        std = var.value**0.5 if var.value > 0 else 0.0
+        return {
+            "count": m,
+            "mean": mean,
+            "variance": var.value,
+            "std": std,
+            "runs": var.runs,
+        }

@@ -1,0 +1,17 @@
+"""Timing substrate: cost models, hardware profiles, clocks, breakdowns."""
+
+from repro.timing.clock import PipelineSchedule, Stopwatch, VirtualClock
+from repro.timing.costmodel import HardwareProfile, Op, calibrate_profile, profiles
+from repro.timing.report import TimingBreakdown, seconds_to_minutes
+
+__all__ = [
+    "HardwareProfile",
+    "Op",
+    "PipelineSchedule",
+    "Stopwatch",
+    "TimingBreakdown",
+    "VirtualClock",
+    "calibrate_profile",
+    "profiles",
+    "seconds_to_minutes",
+]

@@ -1,0 +1,27 @@
+"""Yao garbled circuits: the generic secure-two-party-computation baseline."""
+
+from repro.yao.garbling import (
+    GarbledCircuit,
+    GarbledGate,
+    WireLabel,
+    evaluate_garbled,
+    garble,
+)
+from repro.yao.protocol import (
+    BatchOT,
+    YaoRunResult,
+    YaoSelectedSum,
+    fairplay_model_minutes,
+)
+
+__all__ = [
+    "BatchOT",
+    "GarbledCircuit",
+    "GarbledGate",
+    "WireLabel",
+    "YaoRunResult",
+    "YaoSelectedSum",
+    "evaluate_garbled",
+    "fairplay_model_minutes",
+    "garble",
+]

@@ -1,0 +1,120 @@
+"""Tests for circuit construction (adders, muxes, selected-sum)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.builder import (
+    EVALUATOR,
+    GARBLER,
+    CircuitBuilder,
+    build_selected_sum_circuit,
+)
+from repro.exceptions import CircuitError
+
+
+def assign_number(wires, value):
+    return {w: (value >> i) & 1 for i, w in enumerate(wires)}
+
+
+class TestRippleAdd:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_matches_integer_addition(self, x, y):
+        builder = CircuitBuilder()
+        a = builder.input_number(GARBLER, 9)
+        b = builder.input_number(GARBLER, 9)
+        circuit = builder.outputs(builder.ripple_add(a, b))
+        assignments = {**assign_number(a, x), **assign_number(b, y)}
+        assert circuit.evaluate_int(assignments) == x + y
+
+    def test_unequal_widths(self):
+        builder = CircuitBuilder()
+        a = builder.input_number(GARBLER, 3)
+        b = builder.input_number(GARBLER, 8)
+        circuit = builder.outputs(builder.ripple_add(a, b))
+        assignments = {**assign_number(a, 7), **assign_number(b, 200)}
+        assert circuit.evaluate_int(assignments) == 207
+
+    def test_overflow_wraps(self):
+        builder = CircuitBuilder()
+        a = builder.input_number(GARBLER, 4)
+        b = builder.input_number(GARBLER, 4)
+        circuit = builder.outputs(builder.ripple_add(a, b))
+        assignments = {**assign_number(a, 15), **assign_number(b, 1)}
+        assert circuit.evaluate_int(assignments) == 0  # carry dropped
+
+
+class TestMaskAndMux:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 1), st.integers(0, 255))
+    def test_mask(self, bit, value):
+        builder = CircuitBuilder()
+        select = builder.input_bit(EVALUATOR)
+        number = builder.input_number(GARBLER, 8)
+        circuit = builder.outputs(builder.mask(select, number))
+        assignments = {select: bit, **assign_number(number, value)}
+        assert circuit.evaluate_int(assignments) == bit * value
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 1), st.integers(0, 127), st.integers(0, 127))
+    def test_mux(self, bit, x, y):
+        builder = CircuitBuilder()
+        select = builder.input_bit(EVALUATOR)
+        a = builder.input_number(GARBLER, 7)
+        b = builder.input_number(GARBLER, 7)
+        circuit = builder.outputs(builder.mux(select, a, b))
+        assignments = {select: bit, **assign_number(a, x), **assign_number(b, y)}
+        assert circuit.evaluate_int(assignments) == (y if bit else x)
+
+    def test_mux_width_mismatch(self):
+        builder = CircuitBuilder()
+        s = builder.input_bit(EVALUATOR)
+        with pytest.raises(CircuitError):
+            builder.mux(s, [s], [s, s])
+
+    def test_constant_number(self):
+        builder = CircuitBuilder()
+        wires = builder.constant_number(5, 4)
+        circuit = builder.outputs(wires)
+        assert circuit.evaluate_int({}) == 5
+
+    def test_constant_out_of_range(self):
+        with pytest.raises(CircuitError):
+            CircuitBuilder().constant_number(16, 4)
+
+
+class TestSelectedSumCircuit:
+    def test_input_layout(self):
+        circuit = build_selected_sum_circuit(5, value_bits=8)
+        assert len(circuit.inputs_of(EVALUATOR)) == 5
+        assert len(circuit.inputs_of(GARBLER)) == 40
+
+    def test_validates_parameters(self):
+        with pytest.raises(CircuitError):
+            build_selected_sum_circuit(0)
+        with pytest.raises(CircuitError):
+            build_selected_sum_circuit(5, value_bits=0)
+
+    def test_gate_count_linear_in_n(self):
+        small = build_selected_sum_circuit(10, value_bits=8)
+        large = build_selected_sum_circuit(20, value_bits=8)
+        assert large.gate_count > 1.8 * small.gate_count
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_computes_selected_sum(self, data):
+        n = data.draw(st.integers(1, 8))
+        values = data.draw(
+            st.lists(st.integers(0, 255), min_size=n, max_size=n)
+        )
+        bits = data.draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+        circuit = build_selected_sum_circuit(n, value_bits=8)
+        assignments = {}
+        for wire, bit in zip(circuit.inputs_of(EVALUATOR), bits):
+            assignments[wire] = bit
+        garbler_wires = circuit.inputs_of(GARBLER)
+        for i, value in enumerate(values):
+            for b in range(8):
+                assignments[garbler_wires[i * 8 + b]] = (value >> b) & 1
+        expected = sum(v * s for v, s in zip(values, bits))
+        assert circuit.evaluate_int(assignments) == expected

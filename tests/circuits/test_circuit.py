@@ -1,0 +1,91 @@
+"""Tests for the boolean circuit IR."""
+
+import pytest
+
+from repro.circuits.circuit import Circuit, Gate, GateOp
+from repro.exceptions import CircuitError
+
+
+class TestGateOp:
+    def test_truth_tables(self):
+        assert [GateOp.XOR.evaluate(a, b) for a, b in ((0, 0), (0, 1), (1, 0), (1, 1))] == [0, 1, 1, 0]
+        assert [GateOp.AND.evaluate(a, b) for a, b in ((0, 0), (0, 1), (1, 0), (1, 1))] == [0, 0, 0, 1]
+        assert [GateOp.OR.evaluate(a, b) for a, b in ((0, 0), (0, 1), (1, 0), (1, 1))] == [0, 1, 1, 1]
+        assert [GateOp.NOT.evaluate(b) for b in (0, 1)] == [1, 0]
+
+    def test_arity(self):
+        assert GateOp.NOT.arity == 1
+        assert GateOp.AND.arity == 2
+
+    def test_gate_validates_arity(self):
+        with pytest.raises(CircuitError):
+            Gate(GateOp.AND, (1,), 2)
+        with pytest.raises(CircuitError):
+            Gate(GateOp.NOT, (1, 2), 3)
+
+
+class TestCircuit:
+    def test_xor_circuit(self):
+        c = Circuit()
+        a, b = c.new_input("garbler"), c.new_input("evaluator")
+        out = c.add_gate(GateOp.XOR, a, b)
+        c.mark_outputs([out])
+        assert c.evaluate({a: 1, b: 1}) == [0]
+        assert c.evaluate({a: 1, b: 0}) == [1]
+
+    def test_constants(self):
+        c = Circuit()
+        a = c.new_input("garbler")
+        out = c.add_gate(GateOp.AND, a, Circuit.CONST_ONE)
+        c.mark_outputs([out, Circuit.CONST_ZERO])
+        assert c.evaluate({a: 1}) == [1, 0]
+
+    def test_undefined_wire_rejected(self):
+        c = Circuit()
+        with pytest.raises(CircuitError):
+            c.add_gate(GateOp.NOT, 99)
+        with pytest.raises(CircuitError):
+            c.mark_outputs([99])
+
+    def test_missing_assignment(self):
+        c = Circuit()
+        a = c.new_input("garbler")
+        c.mark_outputs([a])
+        with pytest.raises(CircuitError):
+            c.evaluate({})
+
+    def test_non_bit_assignment(self):
+        c = Circuit()
+        a = c.new_input("garbler")
+        c.mark_outputs([a])
+        with pytest.raises(CircuitError):
+            c.evaluate({a: 2})
+
+    def test_no_outputs(self):
+        c = Circuit()
+        a = c.new_input("garbler")
+        with pytest.raises(CircuitError):
+            c.evaluate({a: 1})
+
+    def test_input_ownership(self):
+        c = Circuit()
+        a = c.new_input("garbler")
+        b = c.new_input("evaluator")
+        d = c.new_input("garbler")
+        assert c.inputs_of("garbler") == [a, d]
+        assert c.inputs_of("evaluator") == [b]
+
+    def test_gate_counting(self):
+        c = Circuit()
+        a, b = c.new_input("g"), c.new_input("g")
+        c.add_gate(GateOp.XOR, a, b)
+        c.add_gate(GateOp.AND, a, b)
+        c.add_gate(GateOp.XOR, a, b)
+        assert c.gate_count == 3
+        assert c.count_gates(GateOp.XOR) == 2
+
+    def test_evaluate_int_little_endian(self):
+        c = Circuit()
+        a = c.new_input("g")
+        c.mark_outputs([Circuit.CONST_ZERO, a])  # bit1 = a
+        assert c.evaluate_int({a: 1}) == 2

@@ -1,0 +1,122 @@
+"""Tests for :mod:`repro.crypto.elgamal` (the ablation comparator)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.elgamal import (
+    ExponentialElGamalScheme,
+    SchnorrGroup,
+    _PRECOMPUTED_SAFE_PRIMES,
+    generate_elgamal_keypair,
+)
+from repro.crypto.primes import is_probable_prime
+from repro.crypto.rng import DeterministicRandom
+from repro.exceptions import DecryptionError, KeyGenerationError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_elgamal_keypair(128, "elgamal-test")
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return ExponentialElGamalScheme(max_plaintext=1 << 16)
+
+
+class TestGroup:
+    def test_precomputed_primes_are_safe(self):
+        for p in _PRECOMPUTED_SAFE_PRIMES.values():
+            assert is_probable_prime(p)
+            assert is_probable_prime((p - 1) // 2)
+
+    def test_generator_in_subgroup(self, keypair):
+        group = keypair.public.group
+        assert group.contains(group.g)
+        assert not group.contains(0)
+        assert not group.contains(group.p)
+
+    def test_rejects_non_safe_prime(self):
+        with pytest.raises(KeyGenerationError):
+            SchnorrGroup(13)  # prime, but (13-1)/2 = 6 is composite
+        with pytest.raises(KeyGenerationError):
+            SchnorrGroup(15)  # not prime
+
+    def test_generator_has_order_q(self, keypair):
+        group = keypair.public.group
+        assert pow(group.g, group.q, group.p) == 1
+        assert pow(group.g, 2, group.p) != 1
+
+
+class TestRoundtrip:
+    def test_basic(self, keypair, scheme):
+        c = scheme.encrypt(keypair.public, 1234, "r")
+        assert scheme.decrypt(keypair.private, c) == 1234
+
+    def test_zero(self, keypair, scheme):
+        c = scheme.encrypt(keypair.public, 0, "r")
+        assert scheme.decrypt(keypair.private, c) == 0
+
+    def test_bound_enforced(self, keypair):
+        tight = ExponentialElGamalScheme(max_plaintext=100)
+        c = tight.encrypt(keypair.public, 101, "r")
+        with pytest.raises(DecryptionError):
+            tight.decrypt(keypair.private, c)
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ValueError):
+            ExponentialElGamalScheme(max_plaintext=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 1 << 16))
+    def test_roundtrip_property(self, keypair, scheme, m):
+        c = scheme.encrypt(keypair.public, m, DeterministicRandom(m))
+        assert scheme.decrypt(keypair.private, c) == m
+
+
+class TestHomomorphism:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 1 << 14), st.integers(0, 1 << 14))
+    def test_additive(self, keypair, scheme, a, b):
+        pk, sk = keypair
+        ca = scheme.encrypt(pk, a, DeterministicRandom(a))
+        cb = scheme.encrypt(pk, b, DeterministicRandom(b + 1))
+        assert scheme.decrypt(sk, scheme.ciphertext_add(pk, ca, cb)) == a + b
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 1 << 10), st.integers(0, 63))
+    def test_scalar(self, keypair, scheme, a, k):
+        pk, sk = keypair
+        ca = scheme.encrypt(pk, a, DeterministicRandom(a))
+        assert scheme.decrypt(sk, scheme.ciphertext_scale(pk, ca, k)) == a * k
+
+    def test_identity(self, keypair, scheme):
+        pk, sk = keypair
+        c = scheme.encrypt(pk, 55, "r")
+        combined = scheme.ciphertext_add(pk, c, scheme.identity(pk))
+        assert scheme.decrypt(sk, combined) == 55
+
+    def test_rerandomize(self, keypair, scheme):
+        pk, sk = keypair
+        c = scheme.encrypt(pk, 7, "r")
+        c2 = scheme.rerandomize(pk, c, "r2")
+        assert c2 != c
+        assert scheme.decrypt(sk, c2) == 7
+
+
+class TestSchemeMetadata:
+    def test_sizes(self, keypair, scheme):
+        assert scheme.ciphertext_size_bytes(keypair.public) == 32  # 2 * 128 bits
+        assert scheme.plaintext_modulus(keypair.public) == keypair.public.group.q
+        assert scheme.name == "exp-elgamal"
+
+    def test_encryptions_randomized(self, keypair, scheme):
+        rng = DeterministicRandom("distinct")
+        cs = {scheme.encrypt(keypair.public, 5, rng) for _ in range(10)}
+        assert len(cs) == 10
+
+    def test_key_equality(self):
+        a = generate_elgamal_keypair(128, "same")
+        b = generate_elgamal_keypair(128, "same")
+        assert a.public == b.public
+        assert hash(a.public) == hash(b.public)

@@ -1,0 +1,81 @@
+"""Tests for :mod:`repro.crypto.goldwasser_micali`."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.goldwasser_micali import (
+    GMPublicKey,
+    decrypt_bits,
+    encrypt_bits,
+    generate_gm_keypair,
+)
+from repro.crypto.ntheory import jacobi
+from repro.crypto.rng import DeterministicRandom
+from repro.exceptions import EncryptionError, KeyGenerationError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_gm_keypair(128, "gm-test")
+
+
+class TestKeyGeneration:
+    def test_blum_modulus(self, keypair):
+        assert keypair.private.p % 4 == 3
+        assert keypair.private.q % 4 == 3
+
+    def test_z_is_pseudo_residue(self, keypair):
+        pk, sk = keypair
+        assert jacobi(pk.z, pk.n) == 1
+        # ... but a non-residue mod p (that's what makes it encrypt 1).
+        assert pow(pk.z, (sk.p - 1) // 2, sk.p) == sk.p - 1
+
+    def test_rejects_bad_z(self, keypair):
+        # An element with Jacobi symbol -1 cannot be the public z.
+        n = keypair.public.n
+        bad = next(z for z in range(2, 100) if jacobi(z, n) == -1)
+        with pytest.raises(KeyGenerationError):
+            GMPublicKey(n, bad)
+
+
+class TestRoundtrip:
+    def test_both_bits(self, keypair):
+        for bit in (0, 1):
+            c = keypair.public.encrypt_bit(bit, DeterministicRandom(bit))
+            assert keypair.private.decrypt_bit(c) == bit
+
+    def test_rejects_non_bits(self, keypair):
+        with pytest.raises(EncryptionError):
+            keypair.public.encrypt_bit(2)
+
+    def test_vector_helpers(self, keypair):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0]
+        cts = encrypt_bits(keypair.public, bits, DeterministicRandom("v"))
+        assert decrypt_bits(keypair.private, cts) == bits
+
+    def test_encryptions_randomized(self, keypair):
+        rng = DeterministicRandom("gm-rand")
+        cs = {keypair.public.encrypt_bit(1, rng) for _ in range(10)}
+        assert len(cs) == 10
+
+
+class TestXorHomomorphism:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 1), st.integers(0, 1))
+    def test_xor(self, keypair, a, b):
+        pk, sk = keypair
+        ca = pk.encrypt_bit(a, DeterministicRandom(a))
+        cb = pk.encrypt_bit(b, DeterministicRandom(b + 2))
+        assert sk.decrypt_bit(pk.xor(ca, cb)) == a ^ b
+
+    def test_xor_chain(self, keypair):
+        pk, sk = keypair
+        bits = [1, 1, 0, 1, 0, 1, 1]
+        rng = DeterministicRandom("chain")
+        acc = pk.encrypt_bit(0, rng)
+        for b in bits:
+            acc = pk.xor(acc, pk.encrypt_bit(b, rng))
+        expected = 0
+        for b in bits:
+            expected ^= b
+        assert sk.decrypt_bit(acc) == expected

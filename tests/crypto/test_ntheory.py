@@ -1,0 +1,139 @@
+"""Unit and property tests for :mod:`repro.crypto.ntheory`."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import ntheory
+
+
+class TestEgcd:
+    def test_known_value(self):
+        assert ntheory.egcd(240, 46) == (2, -9, 47)
+
+    def test_coprime(self):
+        g, x, y = ntheory.egcd(17, 31)
+        assert g == 1
+        assert 17 * x + 31 * y == 1
+
+    def test_zero_arguments(self):
+        assert ntheory.egcd(0, 0)[0] == 0
+        assert ntheory.egcd(0, 7)[0] == 7
+        assert ntheory.egcd(7, 0)[0] == 7
+
+    @given(st.integers(-10**12, 10**12), st.integers(-10**12, 10**12))
+    def test_bezout_identity(self, a, b):
+        g, x, y = ntheory.egcd(a, b)
+        assert g == math.gcd(a, b)
+        assert a * x + b * y == g
+
+
+class TestModinv:
+    def test_known_value(self):
+        assert ntheory.modinv(3, 11) == 4
+
+    def test_not_invertible(self):
+        with pytest.raises(ValueError):
+            ntheory.modinv(6, 9)
+
+    def test_bad_modulus(self):
+        with pytest.raises(ValueError):
+            ntheory.modinv(3, 0)
+
+    @given(st.integers(1, 10**9), st.integers(2, 10**9))
+    def test_inverse_property(self, a, m):
+        if math.gcd(a, m) != 1:
+            with pytest.raises(ValueError):
+                ntheory.modinv(a, m)
+        else:
+            inv = ntheory.modinv(a, m)
+            assert 0 <= inv < m
+            assert a * inv % m == 1 % m
+
+
+class TestCrt:
+    def test_pair_known(self):
+        assert ntheory.crt_pair(2, 3, 3, 5) == 8
+
+    def test_pair_rejects_non_coprime(self):
+        with pytest.raises(ValueError):
+            ntheory.crt_pair(1, 6, 2, 9)
+
+    def test_multi_known(self):
+        assert ntheory.crt([2, 3, 2], [3, 5, 7]) == 23
+
+    def test_multi_validates_lengths(self):
+        with pytest.raises(ValueError):
+            ntheory.crt([1, 2], [3])
+
+    def test_multi_requires_input(self):
+        with pytest.raises(ValueError):
+            ntheory.crt([], [])
+
+    @given(st.integers(0, 10**15))
+    def test_roundtrip_two_primes(self, x):
+        p, q = 1_000_003, 1_000_033
+        x %= p * q
+        assert ntheory.crt_pair(x % p, p, x % q, q) == x
+
+
+class TestJacobi:
+    def test_requires_odd_positive(self):
+        with pytest.raises(ValueError):
+            ntheory.jacobi(3, 4)
+        with pytest.raises(ValueError):
+            ntheory.jacobi(3, -5)
+
+    def test_zero_when_sharing_factor(self):
+        assert ntheory.jacobi(6, 9) == 0
+
+    def test_euler_criterion_agreement(self):
+        # For odd prime p, Jacobi == Legendre == a^((p-1)/2) mod p.
+        p = 10007
+        for a in range(1, 60):
+            euler = pow(a, (p - 1) // 2, p)
+            expected = 1 if euler == 1 else (-1 if euler == p - 1 else 0)
+            assert ntheory.jacobi(a, p) == expected
+
+    @given(st.integers(1, 10**9), st.integers(1, 10**4))
+    def test_multiplicative_in_numerator(self, a, k):
+        n = 2 * k + 1  # odd
+        lhs = ntheory.jacobi(a, n) * ntheory.jacobi(a + 1, n)
+        rhs = ntheory.jacobi(a * (a + 1), n)
+        assert lhs == rhs
+
+
+class TestMisc:
+    def test_lcm(self):
+        assert ntheory.lcm(4, 6) == 12
+        assert ntheory.lcm(0, 5) == 0
+
+    def test_isqrt_and_square_detection(self):
+        assert ntheory.isqrt(24) == 4
+        assert ntheory.is_perfect_square(49)
+        assert not ntheory.is_perfect_square(48)
+        assert not ntheory.is_perfect_square(-4)
+        with pytest.raises(ValueError):
+            ntheory.isqrt(-1)
+
+    def test_bytes_for_bits(self):
+        assert ntheory.bytes_for_bits(0) == 1
+        assert ntheory.bytes_for_bits(8) == 1
+        assert ntheory.bytes_for_bits(9) == 2
+        assert ntheory.bytes_for_bits(1024) == 128
+        with pytest.raises(ValueError):
+            ntheory.bytes_for_bits(-1)
+
+    def test_product_mod(self):
+        assert ntheory.product_mod([3, 4, 5], 7) == 60 % 7
+        assert ntheory.product_mod([], 7) == 1
+        with pytest.raises(ValueError):
+            ntheory.product_mod([1], 0)
+
+    @given(st.lists(st.integers(0, 2**64), max_size=20), st.integers(2, 2**32))
+    def test_product_mod_matches_bigint(self, values, m):
+        expected = 1
+        for v in values:
+            expected *= v
+        assert ntheory.product_mod(values, m) == expected % m

@@ -1,0 +1,288 @@
+"""Tests for :mod:`repro.crypto.paillier` — the paper's cryptosystem.
+
+Key sizes here are small (64–256 bits) so the suite stays fast; the
+arithmetic is size-independent.  The paper's 512-bit size is exercised
+once in the integration tests and in the live microbenchmarks.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.paillier import (
+    EncryptedNumber,
+    PaillierPublicKey,
+    PaillierScheme,
+    RandomnessPool,
+    generate_keypair,
+)
+from repro.crypto.rng import DeterministicRandom
+from repro.exceptions import (
+    DecryptionError,
+    EncryptionError,
+    KeyGenerationError,
+    KeyMismatchError,
+)
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(128, "paillier-test-key")
+
+
+@pytest.fixture(scope="module")
+def other_keypair():
+    return generate_keypair(128, "other-test-key")
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, keypair):
+        assert 126 <= keypair.public.bits <= 128
+
+    def test_rejects_tiny_keys(self):
+        with pytest.raises(KeyGenerationError):
+            generate_keypair(8)
+
+    def test_deterministic_with_seed(self):
+        a = generate_keypair(64, "same-seed")
+        b = generate_keypair(64, "same-seed")
+        assert a.public.n == b.public.n
+
+    def test_private_key_validates_factors(self, keypair):
+        from repro.crypto.paillier import PaillierPrivateKey
+
+        with pytest.raises(KeyGenerationError):
+            PaillierPrivateKey(keypair.public, 3, 5)
+
+    def test_public_key_equality_and_hash(self, keypair, other_keypair):
+        clone = PaillierPublicKey(keypair.public.n)
+        assert clone == keypair.public
+        assert hash(clone) == hash(keypair.public)
+        assert clone != other_keypair.public
+
+
+class TestRawRoundtrip:
+    def test_zero_and_one(self, keypair):
+        for m in (0, 1):
+            c = keypair.public.encrypt_raw(m, DeterministicRandom(m))
+            assert keypair.private.raw_decrypt(c) == m
+
+    def test_rejects_out_of_range_plaintext(self, keypair):
+        with pytest.raises(EncryptionError):
+            keypair.public.raw_encrypt(keypair.public.n, 1)
+        with pytest.raises(EncryptionError):
+            keypair.public.raw_encrypt(-1, 1)
+
+    def test_rejects_out_of_range_ciphertext(self, keypair):
+        with pytest.raises(DecryptionError):
+            keypair.private.raw_decrypt(keypair.public.nsquare)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2**96))
+    def test_roundtrip_property(self, keypair, m):
+        m %= keypair.public.n
+        c = keypair.public.encrypt_raw(m, DeterministicRandom(m))
+        assert keypair.private.raw_decrypt(c) == m
+
+
+class TestSemanticSecurityShape:
+    def test_encryptions_are_randomized(self, keypair):
+        rng = DeterministicRandom("randomized")
+        cs = {keypair.public.encrypt_raw(7, rng) for _ in range(10)}
+        assert len(cs) == 10  # same plaintext, all distinct ciphertexts
+
+    def test_obfuscator_is_unit(self, keypair):
+        # r^n must be invertible mod n^2 for decryption to work.
+        from repro.crypto.ntheory import modinv
+
+        ob = keypair.public.obfuscator(DeterministicRandom("ob"))
+        assert modinv(ob, keypair.public.nsquare) is not None
+
+
+class TestHomomorphism:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2**40), st.integers(0, 2**40))
+    def test_additive(self, keypair, a, b):
+        pk, sk = keypair
+        ca = pk.encrypt_raw(a, DeterministicRandom(a))
+        cb = pk.encrypt_raw(b, DeterministicRandom(b + 1))
+        assert sk.raw_decrypt(ca * cb % pk.nsquare) == (a + b) % pk.n
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2**40), st.integers(0, 2**32))
+    def test_scalar(self, keypair, a, k):
+        pk, sk = keypair
+        ca = pk.encrypt_raw(a, DeterministicRandom(a))
+        assert sk.raw_decrypt(pow(ca, k, pk.nsquare)) == a * k % pk.n
+
+    def test_paper_protocol_identity(self, keypair):
+        """The exact identity of paper §2: prod E(I_i)^{x_i} = E(sum I_i x_i)."""
+        pk, sk = keypair
+        rng = DeterministicRandom("protocol")
+        indices = [1, 0, 1, 1, 0, 0, 1]
+        data = [17, 23, 4, 99, 56, 3, 40]
+        encrypted = [pk.encrypt_raw(i, rng) for i in indices]
+        product = 1
+        for c, x in zip(encrypted, data):
+            product = product * pow(c, x, pk.nsquare) % pk.nsquare
+        expected = sum(i * x for i, x in zip(indices, data))
+        assert sk.raw_decrypt(product) == expected
+
+
+class TestSignedEncoding:
+    def test_roundtrip_signed(self, keypair):
+        pk = keypair.public
+        for v in (0, 1, -1, 12345, -12345, pk.max_int, -pk.max_int):
+            assert pk.decode_signed(pk.encode_signed(v)) == v
+
+    def test_rejects_overflow(self, keypair):
+        with pytest.raises(EncryptionError):
+            keypair.public.encode_signed(keypair.public.max_int + 1)
+
+    def test_gap_detected(self, keypair):
+        pk = keypair.public
+        with pytest.raises(DecryptionError):
+            pk.decode_signed(pk.max_int + 5)
+
+    def test_decode_validates_range(self, keypair):
+        with pytest.raises(DecryptionError):
+            keypair.public.decode_signed(-1)
+
+
+class TestEncryptedNumber:
+    def test_add_encrypted(self, keypair):
+        a = EncryptedNumber.encrypt(keypair.public, 20, "a")
+        b = EncryptedNumber.encrypt(keypair.public, 22, "b")
+        assert (a + b).decrypt(keypair.private) == 42
+
+    def test_add_plain(self, keypair):
+        a = EncryptedNumber.encrypt(keypair.public, 40, "a")
+        assert (a + 2).decrypt(keypair.private) == 42
+        assert (2 + a).decrypt(keypair.private) == 42
+
+    def test_negative_values(self, keypair):
+        a = EncryptedNumber.encrypt(keypair.public, -15, "a")
+        b = EncryptedNumber.encrypt(keypair.public, 10, "b")
+        assert (a + b).decrypt(keypair.private) == -5
+
+    def test_scalar_multiplication(self, keypair):
+        a = EncryptedNumber.encrypt(keypair.public, 7, "a")
+        assert (a * 6).decrypt(keypair.private) == 42
+        assert (6 * a).decrypt(keypair.private) == 42
+        assert (a * -2).decrypt(keypair.private) == -14
+
+    def test_subtraction_and_negation(self, keypair):
+        a = EncryptedNumber.encrypt(keypair.public, 50, "a")
+        b = EncryptedNumber.encrypt(keypair.public, 8, "b")
+        assert (a - b).decrypt(keypair.private) == 42
+        assert (-a).decrypt(keypair.private) == -50
+        assert (100 - a).decrypt(keypair.private) == 50
+
+    def test_key_mismatch_rejected(self, keypair, other_keypair):
+        a = EncryptedNumber.encrypt(keypair.public, 1, "a")
+        b = EncryptedNumber.encrypt(other_keypair.public, 1, "b")
+        with pytest.raises(KeyMismatchError):
+            _ = a + b
+        with pytest.raises(KeyMismatchError):
+            a.decrypt(other_keypair.private)
+
+    def test_non_int_operands_rejected(self, keypair):
+        a = EncryptedNumber.encrypt(keypair.public, 1, "a")
+        with pytest.raises(TypeError):
+            _ = a * 1.5  # type: ignore[operator]
+
+    def test_obfuscate_changes_ciphertext_not_plaintext(self, keypair):
+        a = EncryptedNumber.encrypt(keypair.public, 33, "a")
+        b = a.obfuscate("fresh")
+        assert b.ciphertext != a.ciphertext
+        assert b.decrypt(keypair.private) == 33
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(-(2**30), 2**30),
+        st.integers(-(2**30), 2**30),
+        st.integers(-100, 100),
+    )
+    def test_affine_property(self, keypair, a, b, k):
+        ea = EncryptedNumber.encrypt(keypair.public, a, DeterministicRandom(a))
+        eb = EncryptedNumber.encrypt(keypair.public, b, DeterministicRandom(b))
+        assert (ea * k + eb).decrypt(keypair.private) == a * k + b
+
+
+class TestRandomnessPool:
+    def test_precompute_and_take(self, keypair):
+        pool = RandomnessPool(keypair.public, "pool")
+        pool.precompute(5)
+        assert len(pool) == 5
+        c = EncryptedNumber.encrypt(keypair.public, 9, pool=pool)
+        assert c.decrypt(keypair.private) == 9
+        assert len(pool) == 4
+        assert pool.misses == 0
+
+    def test_miss_counting(self, keypair):
+        pool = RandomnessPool(keypair.public, "pool2")
+        c = EncryptedNumber.encrypt(keypair.public, 5, pool=pool)
+        assert c.decrypt(keypair.private) == 5
+        assert pool.misses == 1
+
+    def test_rejects_negative_count(self, keypair):
+        with pytest.raises(ValueError):
+            RandomnessPool(keypair.public).precompute(-1)
+
+
+class TestSchemeInterface:
+    def test_roundtrip_and_algebra(self, keypair):
+        scheme = PaillierScheme()
+        pk, sk = keypair
+        a = scheme.encrypt(pk, 30, "a")
+        b = scheme.encrypt(pk, 12, "b")
+        total = scheme.ciphertext_add(pk, a, b)
+        assert scheme.decrypt(sk, total) == 42
+        assert scheme.decrypt(sk, scheme.ciphertext_scale(pk, a, 3)) == 90
+        assert scheme.decrypt(sk, scheme.identity(pk)) == 0
+
+    def test_weighted_product(self, keypair):
+        scheme = PaillierScheme()
+        pk, sk = keypair
+        bits = [1, 0, 1, 0]
+        weights = [10, 20, 30, 40]
+        cts = scheme.encrypt_vector(pk, bits, DeterministicRandom("wp"))
+        agg = scheme.weighted_product(pk, cts, weights)
+        assert scheme.decrypt(sk, agg) == 40
+
+    def test_weighted_product_validates_lengths(self, keypair):
+        scheme = PaillierScheme()
+        with pytest.raises(ValueError):
+            scheme.weighted_product(keypair.public, [1], [1, 2])
+
+    def test_rerandomize(self, keypair):
+        scheme = PaillierScheme()
+        pk, sk = keypair
+        c = scheme.encrypt(pk, 77, "r")
+        c2 = scheme.rerandomize(pk, c, "r2")
+        assert c2 != c
+        assert scheme.decrypt(sk, c2) == 77
+
+    def test_metadata(self, keypair):
+        scheme = PaillierScheme()
+        assert scheme.plaintext_modulus(keypair.public) == keypair.public.n
+        assert scheme.ciphertext_size_bytes(keypair.public) == 32  # 2*128 bits
+        assert scheme.name == "paillier"
+
+
+class TestSerialization:
+    def test_public_key_roundtrip(self, keypair):
+        data = keypair.public.to_bytes()
+        assert PaillierPublicKey.from_bytes(data) == keypair.public
+
+    def test_ciphertext_roundtrip(self, keypair):
+        pk = keypair.public
+        c = pk.encrypt_raw(123, DeterministicRandom("ser"))
+        data = pk.ciphertext_to_bytes(c)
+        assert len(data) == 32
+        assert pk.ciphertext_from_bytes(data) == c
+
+    def test_ciphertext_range_validated(self, keypair):
+        pk = keypair.public
+        data = pk.nsquare.to_bytes(33, "big")  # value == n^2 is out of range
+        with pytest.raises(DecryptionError):
+            pk.ciphertext_from_bytes(data)

@@ -1,0 +1,136 @@
+"""Tests for :mod:`repro.crypto.rng`."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.rng import (
+    DeterministicRandom,
+    RandomSource,
+    SecureRandom,
+    as_random_source,
+)
+
+
+class TestDeterministicRandom:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRandom("seed")
+        b = DeterministicRandom("seed")
+        assert [a.randbits(64) for _ in range(10)] == [
+            b.randbits(64) for _ in range(10)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRandom("seed-1")
+        b = DeterministicRandom("seed-2")
+        assert [a.randbits(64) for _ in range(4)] != [
+            b.randbits(64) for _ in range(4)
+        ]
+
+    def test_seed_types(self):
+        for seed in (b"bytes", "string", 12345, 0, -7):
+            assert isinstance(DeterministicRandom(seed).randbits(32), int)
+
+    def test_negative_and_positive_int_seeds_distinct(self):
+        a = DeterministicRandom(7)
+        b = DeterministicRandom(-7)
+        assert a.randbits(128) != b.randbits(128)
+
+    def test_bad_seed_type(self):
+        with pytest.raises(TypeError):
+            DeterministicRandom(3.14)  # type: ignore[arg-type]
+
+    def test_randbits_range(self):
+        rng = DeterministicRandom("range")
+        for bits in (1, 7, 8, 9, 63, 64, 65, 512):
+            for _ in range(20):
+                v = rng.randbits(bits)
+                assert 0 <= v < (1 << bits)
+
+    def test_randbits_zero(self):
+        assert DeterministicRandom("z").randbits(0) == 0
+
+    def test_randbits_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicRandom("z").randbits(-1)
+
+    def test_randbytes_length(self):
+        rng = DeterministicRandom("bytes")
+        assert rng.randbytes(0) == b""
+        assert len(rng.randbytes(33)) == 33
+
+    def test_bit_coverage(self):
+        # Over many draws every bit position of an 8-bit draw is hit.
+        rng = DeterministicRandom("coverage")
+        seen_or = 0
+        seen_and = 0xFF
+        for _ in range(500):
+            v = rng.randbits(8)
+            seen_or |= v
+            seen_and &= v
+        assert seen_or == 0xFF
+        assert seen_and == 0
+
+
+class TestRangeHelpers:
+    def test_randbelow_bounds(self):
+        rng = DeterministicRandom("below")
+        values = {rng.randbelow(10) for _ in range(300)}
+        assert values == set(range(10))
+
+    def test_randbelow_one(self):
+        assert DeterministicRandom("one").randbelow(1) == 0
+
+    def test_randbelow_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DeterministicRandom("x").randbelow(0)
+
+    def test_randrange(self):
+        rng = DeterministicRandom("rr")
+        for _ in range(100):
+            v = rng.randrange(5, 9)
+            assert 5 <= v < 9
+
+    def test_randrange_empty(self):
+        with pytest.raises(ValueError):
+            DeterministicRandom("x").randrange(5, 5)
+
+    @given(st.integers(1, 2**64))
+    def test_randbelow_property(self, upper):
+        rng = DeterministicRandom(upper)
+        assert 0 <= rng.randbelow(upper) < upper
+
+
+class TestSecureRandom:
+    def test_basic_ranges(self):
+        rng = SecureRandom()
+        assert 0 <= rng.randbits(128) < 2**128
+        assert 0 <= rng.randbelow(1000) < 1000
+        assert len(rng.randbytes(16)) == 16
+        assert rng.randbits(0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SecureRandom().randbits(-1)
+        with pytest.raises(ValueError):
+            SecureRandom().randbytes(-1)
+
+    def test_streams_differ(self):
+        # Two 256-bit draws colliding would indicate a broken source.
+        assert SecureRandom().randbits(256) != SecureRandom().randbits(256)
+
+
+class TestCoercion:
+    def test_none_gives_secure(self):
+        assert isinstance(as_random_source(None), SecureRandom)
+
+    def test_seed_gives_deterministic(self):
+        src = as_random_source("seed")
+        assert isinstance(src, DeterministicRandom)
+
+    def test_passthrough(self):
+        rng = DeterministicRandom("x")
+        assert as_random_source(rng) is rng
+
+    def test_abstract_interface(self):
+        with pytest.raises(NotImplementedError):
+            RandomSource().randbits(8)

@@ -1,0 +1,58 @@
+"""Tests for :mod:`repro.crypto.rsa` (the OT trapdoor permutation)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.rng import DeterministicRandom
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.exceptions import KeyGenerationError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_rsa_keypair(128, "rsa-test")
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, keypair):
+        assert 126 <= keypair.public.n.bit_length() <= 128
+
+    def test_rejects_tiny(self):
+        with pytest.raises(KeyGenerationError):
+            generate_rsa_keypair(16)
+
+    def test_deterministic(self):
+        a = generate_rsa_keypair(64, "seed")
+        b = generate_rsa_keypair(64, "seed")
+        assert a.public.n == b.public.n
+
+    def test_ed_inverse(self, keypair):
+        phi = (keypair.private.p - 1) * (keypair.private.q - 1)
+        assert keypair.public.e * keypair.private.d % phi == 1
+
+
+class TestPermutation:
+    def test_apply_invert_roundtrip(self, keypair):
+        x = 123456789
+        assert keypair.private.invert(keypair.public.apply(x)) == x
+
+    def test_invert_apply_roundtrip(self, keypair):
+        y = 987654321
+        assert keypair.public.apply(keypair.private.invert(y)) == y
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2**120))
+    def test_bijection_property(self, keypair, x):
+        x %= keypair.public.n
+        assert keypair.private.invert(keypair.public.apply(x)) == x
+
+    def test_random_element_in_range(self, keypair):
+        rng = DeterministicRandom("elem")
+        for _ in range(20):
+            assert 0 <= keypair.public.random_element(rng) < keypair.public.n
+
+    def test_key_equality(self):
+        a = generate_rsa_keypair(64, "eq")
+        b = generate_rsa_keypair(64, "eq")
+        assert a.public == b.public
+        assert hash(a.public) == hash(b.public)

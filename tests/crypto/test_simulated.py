@@ -1,0 +1,113 @@
+"""Tests for :mod:`repro.crypto.simulated` — including the equivalence
+property that justifies using it for paper-scale experiments: for any
+program written against the scheme interface, the simulated scheme and
+real Paillier decrypt to identical values.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.paillier import PaillierScheme, generate_keypair
+from repro.crypto.rng import DeterministicRandom
+from repro.crypto.simulated import SimulatedPaillier
+from repro.exceptions import EncryptionError, KeyMismatchError
+
+
+@pytest.fixture()
+def sim():
+    return SimulatedPaillier("sim-test")
+
+
+class TestBasics:
+    def test_roundtrip(self, sim):
+        kp = sim.generate(512)
+        c = sim.encrypt(kp.public, 12345)
+        assert sim.decrypt(kp.private, c) == 12345
+
+    def test_modulus_size(self, sim):
+        kp = sim.generate(512)
+        assert kp.public.bits == 512
+        assert sim.ciphertext_size_bytes(kp.public) == 128  # like real 512-bit
+
+    def test_fresh_encryptions_distinct(self, sim):
+        kp = sim.generate(128)
+        a = sim.encrypt(kp.public, 7)
+        b = sim.encrypt(kp.public, 7)
+        assert a != b  # mirrors semantic security
+
+    def test_identity_deterministic(self, sim):
+        kp = sim.generate(128)
+        assert sim.identity(kp.public) == sim.identity(kp.public)
+
+    def test_key_separation(self, sim):
+        kp1 = sim.generate(128)
+        kp2 = sim.generate(128)
+        c = sim.encrypt(kp1.public, 1)
+        with pytest.raises(KeyMismatchError):
+            sim.decrypt(kp2.private, c)
+        with pytest.raises(KeyMismatchError):
+            sim.ciphertext_add(kp2.public, c, c)
+
+    def test_signed_encoding(self, sim):
+        kp = sim.generate(128)
+        pk = kp.public
+        assert pk.decode_signed(pk.encode_signed(-42)) == -42
+        with pytest.raises(EncryptionError):
+            pk.encode_signed(pk.n)
+
+    def test_rerandomize_preserves_plaintext(self, sim):
+        kp = sim.generate(128)
+        c = sim.encrypt(kp.public, 9)
+        c2 = sim.rerandomize(kp.public, c)
+        assert c2 != c
+        assert sim.decrypt(kp.private, c2) == 9
+
+
+class TestAlgebra:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2**64), st.integers(0, 2**64), st.integers(0, 2**32))
+    def test_homomorphic_identities(self, a, b, k):
+        sim = SimulatedPaillier("alg")
+        kp = sim.generate(256)
+        pk, sk = kp
+        ca, cb = sim.encrypt(pk, a), sim.encrypt(pk, b)
+        assert sim.decrypt(sk, sim.ciphertext_add(pk, ca, cb)) == (a + b) % pk.n
+        assert sim.decrypt(sk, sim.ciphertext_scale(pk, ca, k)) == a * k % pk.n
+
+
+class TestEquivalenceWithRealPaillier:
+    """Run the same straight-line program on both schemes and compare.
+
+    This is the load-bearing property for the reproduction: the benches
+    run on the simulated scheme, and this test family is why that is
+    trustworthy (DESIGN.md §3 substitution 1).
+    """
+
+    def _run_program(self, scheme, keypair, indices, data):
+        pk, sk = keypair
+        rng = DeterministicRandom("equiv")
+        cts = scheme.encrypt_vector(pk, indices, rng)
+        agg = scheme.weighted_product(pk, cts, data)
+        return scheme.decrypt(sk, agg)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.integers(0, 1), min_size=1, max_size=30),
+        st.data(),
+    )
+    def test_selected_sum_program_agrees(self, indices, data):
+        values = data.draw(
+            st.lists(
+                st.integers(0, 2**32 - 1),
+                min_size=len(indices),
+                max_size=len(indices),
+            )
+        )
+        real = PaillierScheme()
+        real_kp = generate_keypair(128, "equiv-key")
+        sim = SimulatedPaillier("equiv")
+        sim_kp = sim.generate(128)
+
+        expected = sum(i * x for i, x in zip(indices, values))
+        assert self._run_program(real, real_kp, indices, values) == expected
+        assert self._run_program(sim, sim_kp, indices, values) == expected

@@ -1,0 +1,98 @@
+"""Tests for :mod:`repro.datastore.database`."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datastore.database import MAX_VALUE, ServerDatabase
+from repro.exceptions import DatabaseError
+
+
+class TestConstruction:
+    def test_basic(self):
+        db = ServerDatabase([1, 2, 3])
+        assert len(db) == 3
+        assert db[1] == 2
+        assert list(db) == [1, 2, 3]
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatabaseError):
+            ServerDatabase([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(DatabaseError):
+            ServerDatabase([1, -2])
+
+    def test_rejects_over_range(self):
+        with pytest.raises(DatabaseError):
+            ServerDatabase([MAX_VALUE + 1])
+        ServerDatabase([MAX_VALUE])  # boundary ok
+
+    def test_rejects_non_integers(self):
+        with pytest.raises(DatabaseError):
+            ServerDatabase([1.5])  # type: ignore[list-item]
+        with pytest.raises(DatabaseError):
+            ServerDatabase([True])
+
+    def test_rejects_bad_value_bits(self):
+        with pytest.raises(DatabaseError):
+            ServerDatabase([1], value_bits=0)
+
+    def test_custom_value_bits(self):
+        db = ServerDatabase([255], value_bits=8)
+        with pytest.raises(DatabaseError):
+            ServerDatabase([256], value_bits=8)
+        assert db.value_bits == 8
+
+    def test_equality(self):
+        assert ServerDatabase([1, 2]) == ServerDatabase([1, 2])
+        assert ServerDatabase([1, 2]) != ServerDatabase([2, 1])
+        assert ServerDatabase([1], value_bits=8) != ServerDatabase([1], value_bits=16)
+
+
+class TestViews:
+    def test_chunks(self):
+        db = ServerDatabase([1, 2, 3, 4, 5])
+        chunks = list(db.chunks(2))
+        assert chunks == [(0, (1, 2)), (2, (3, 4)), (4, (5,))]
+
+    def test_chunks_validate_size(self):
+        with pytest.raises(DatabaseError):
+            list(ServerDatabase([1]).chunks(0))
+
+    def test_squared_view(self):
+        db = ServerDatabase([3, 4], value_bits=8)
+        squared = db.squared()
+        assert squared.values == (9, 16)
+        assert squared.value_bits == 16
+
+    def test_squared_of_max_value(self):
+        db = ServerDatabase([MAX_VALUE])
+        assert db.squared()[0] == MAX_VALUE**2
+
+
+class TestSums:
+    def test_select_sum(self):
+        db = ServerDatabase([10, 20, 30])
+        assert db.select_sum([1, 0, 1]) == 40
+        assert db.select_sum([0, 0, 0]) == 0
+        assert db.select_sum([2, 1, 0]) == 40  # weights
+
+    def test_select_sum_validates_length(self):
+        with pytest.raises(DatabaseError):
+            ServerDatabase([1, 2]).select_sum([1])
+
+    def test_max_selected_sum(self):
+        db = ServerDatabase([1, 2, 3], value_bits=8)
+        assert db.max_selected_sum(2) == 2 * 255
+        with pytest.raises(DatabaseError):
+            db.max_selected_sum(4)
+        with pytest.raises(DatabaseError):
+            db.max_selected_sum(-1)
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=50), st.data())
+    def test_select_sum_matches_python(self, values, data):
+        db = ServerDatabase(values)
+        bits = data.draw(
+            st.lists(st.integers(0, 1), min_size=len(values), max_size=len(values))
+        )
+        assert db.select_sum(bits) == sum(v for v, b in zip(values, bits) if b)

@@ -1,0 +1,78 @@
+"""Tests for the named-column table layer."""
+
+import pytest
+
+from repro.datastore.database import ServerDatabase
+from repro.datastore.table import Table
+from repro.exceptions import DatabaseError
+
+
+@pytest.fixture()
+def table():
+    return Table(
+        {"age": [30, 40, 50, 60], "bp": [110, 120, 140, 130]},
+        value_bits=16,
+    )
+
+
+class TestConstruction:
+    def test_shape(self, table):
+        assert len(table) == 4
+        assert table.column_names == ["age", "bp"]
+        assert "age" in table
+        assert "weight" not in table
+
+    def test_accepts_ready_databases(self):
+        db = ServerDatabase([1, 2], value_bits=8)
+        t = Table({"x": db})
+        assert t.column("x") is db
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatabaseError):
+            Table({})
+
+    def test_rejects_unequal_lengths(self):
+        with pytest.raises(DatabaseError):
+            Table({"a": [1, 2], "b": [1]})
+
+    def test_rejects_bad_names(self):
+        with pytest.raises(DatabaseError):
+            Table({"": [1]})
+        with pytest.raises(DatabaseError):
+            Table({3: [1]})  # type: ignore[dict-item]
+
+    def test_value_bits_applied(self):
+        with pytest.raises(DatabaseError):
+            Table({"x": [256]}, value_bits=8)
+
+    def test_from_rows(self):
+        t = Table.from_rows(["a", "b"], [(1, 2), (3, 4), (5, 6)], value_bits=8)
+        assert t.column("a").values == (1, 3, 5)
+        assert t.column("b").values == (2, 4, 6)
+
+    def test_from_rows_validates_width(self):
+        with pytest.raises(DatabaseError):
+            Table.from_rows(["a", "b"], [(1,)])
+
+
+class TestViews:
+    def test_column_lookup(self, table):
+        assert table.column("age").values == (30, 40, 50, 60)
+        with pytest.raises(DatabaseError):
+            table.column("height")
+
+    def test_squared_column(self, table):
+        assert table.squared_column("age").values == (900, 1600, 2500, 3600)
+
+    def test_product_column(self, table):
+        product = table.product_column("age", "bp")
+        assert product.values == (3300, 4800, 7000, 7800)
+        assert product.value_bits == 32
+
+    def test_row(self, table):
+        assert table.row(1) == {"age": 40, "bp": 120}
+        with pytest.raises(DatabaseError):
+            table.row(4)
+
+    def test_repr(self, table):
+        assert "rows=4" in repr(table)

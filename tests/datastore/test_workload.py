@@ -1,0 +1,111 @@
+"""Tests for :mod:`repro.datastore.workload`."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datastore.workload import (
+    PAPER_DATABASE_SIZES,
+    WorkloadGenerator,
+    indices_to_bits,
+)
+from repro.exceptions import ParameterError
+
+
+class TestIndicesToBits:
+    def test_basic(self):
+        assert indices_to_bits(5, [0, 3]) == [1, 0, 0, 1, 0]
+
+    def test_empty_selection(self):
+        assert indices_to_bits(3, []) == [0, 0, 0]
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ParameterError):
+            indices_to_bits(5, [1, 1])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ParameterError):
+            indices_to_bits(5, [5])
+
+
+class TestPaperSizes:
+    def test_sweep_matches_paper(self):
+        assert PAPER_DATABASE_SIZES[0] == 10_000
+        assert PAPER_DATABASE_SIZES[-1] == 100_000
+        assert len(PAPER_DATABASE_SIZES) == 10
+
+
+class TestDatabaseGeneration:
+    def test_deterministic(self):
+        a = WorkloadGenerator("s").database(100)
+        b = WorkloadGenerator("s").database(100)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = WorkloadGenerator("s1").database(100)
+        b = WorkloadGenerator("s2").database(100)
+        assert a != b
+
+    def test_size_and_range(self):
+        db = WorkloadGenerator("s").database(500, value_bits=8)
+        assert len(db) == 500
+        assert all(0 <= v < 256 for v in db)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            WorkloadGenerator("s").database(0)
+
+    def test_values_spread(self):
+        db = WorkloadGenerator("s").database(1000)
+        assert len(set(db.values)) > 900  # 32-bit values barely collide
+
+
+class TestSelections:
+    @pytest.mark.parametrize(
+        "method", ["random_selection", "range_selection", "clustered_selection"]
+    )
+    def test_exactly_m_ones(self, method):
+        generator = WorkloadGenerator("sel")
+        bits = getattr(generator, method)(1000, 37)
+        assert len(bits) == 1000
+        assert sum(bits) == 37
+        assert set(bits) <= {0, 1}
+
+    @pytest.mark.parametrize(
+        "method", ["random_selection", "range_selection", "clustered_selection"]
+    )
+    def test_deterministic(self, method):
+        a = getattr(WorkloadGenerator("x"), method)(500, 20)
+        b = getattr(WorkloadGenerator("x"), method)(500, 20)
+        assert a == b
+
+    def test_range_selection_contiguous(self):
+        bits = WorkloadGenerator("r").range_selection(1000, 50)
+        ones = [i for i, b in enumerate(bits) if b]
+        assert ones == list(range(ones[0], ones[0] + 50))
+
+    def test_full_and_empty_selection(self):
+        generator = WorkloadGenerator("e")
+        assert sum(generator.random_selection(100, 100)) == 100
+        assert sum(generator.random_selection(100, 0)) == 0
+
+    def test_rejects_m_over_n(self):
+        with pytest.raises(ParameterError):
+            WorkloadGenerator("e").random_selection(10, 11)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 2000), st.data())
+    def test_random_selection_property(self, n, data):
+        m = data.draw(st.integers(0, n))
+        bits = WorkloadGenerator("prop").random_selection(n, m)
+        assert sum(bits) == m and len(bits) == n
+
+
+class TestWeights:
+    def test_range(self):
+        weights = WorkloadGenerator("w").weights(200, max_weight=10)
+        assert len(weights) == 200
+        assert all(0 <= w <= 10 for w in weights)
+
+    def test_rejects_bad_max(self):
+        with pytest.raises(ParameterError):
+            WorkloadGenerator("w").weights(10, max_weight=0)

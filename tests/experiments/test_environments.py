@@ -1,0 +1,46 @@
+"""Tests for the environment presets."""
+
+from repro.experiments.environments import long_distance, short_distance, wireless
+from repro.net.link import links
+from repro.timing.costmodel import Op, profiles
+
+
+class TestPresets:
+    def test_short_distance_wiring(self):
+        assert short_distance.link is links.cluster
+        assert short_distance.client_profile is profiles.pentium3_2ghz
+        assert short_distance.server_profile is profiles.pentium3_2ghz
+
+    def test_long_distance_wiring(self):
+        assert long_distance.link is links.modem
+        assert long_distance.client_profile is profiles.ultrasparc_500mhz
+        assert long_distance.server_profile is profiles.pentium_1ghz
+
+    def test_wireless_medium(self):
+        assert wireless.link is links.wireless_multihop
+
+
+class TestContextConstruction:
+    def test_default_context(self):
+        ctx = short_distance.context(seed="env")
+        assert ctx.link is links.cluster
+        assert ctx.key_bits == 512
+        assert ctx.mode == "modelled"
+
+    def test_java_context(self):
+        plain = short_distance.context(seed="env")
+        java = short_distance.context(java=True, seed="env")
+        ratio = java.op_cost("client", Op.ENCRYPT) / plain.op_cost(
+            "client", Op.ENCRYPT
+        )
+        assert ratio == 5.0
+
+    def test_long_distance_asymmetric_hardware(self):
+        ctx = long_distance.context(seed="env")
+        client_cost = ctx.op_cost("client", Op.ENCRYPT)
+        server_cost = ctx.op_cost("server", Op.ENCRYPT)
+        assert client_cost == 2 * server_cost  # 4x vs 2x the P-III
+
+    def test_measured_mode(self):
+        ctx = short_distance.context(seed="env", mode="measured", key_bits=64)
+        assert ctx.mode == "measured"

@@ -1,0 +1,179 @@
+"""Tests that the figure runners reproduce the paper's shapes.
+
+These run reduced sweeps (small n) for speed; the benches run the full
+paper-scale sweeps.  The assertions here encode the *qualitative claims*
+of each figure — who dominates, what is linear, how large each
+optimization's gain is — which is exactly what a reproduction must get
+right.
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+
+SIZES = (2_000, 4_000)
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return figures.figure2(sizes=SIZES)
+
+    def test_linear_in_n(self, series):
+        first, last = series.points[0], series.points[-1]
+        for column in ("client_encrypt", "server_compute", "communication"):
+            assert last.get(column) == pytest.approx(2 * first.get(column), rel=0.05)
+
+    def test_encryption_dominates(self, series):
+        for point in series.points:
+            assert point.get("client_encrypt") > 5 * point.get("server_compute")
+            assert point.get("server_compute") > point.get("communication")
+
+    def test_decryption_constant(self, series):
+        assert series.points[0].get("client_decrypt") == pytest.approx(
+            series.points[-1].get("client_decrypt")
+        )
+
+    def test_paper_total_at_100k(self):
+        """The headline number: ~20 minutes at n = 100,000."""
+        series = figures.figure2(sizes=(100_000,))
+        point = series.final()
+        total = sum(point.get(c) for c in series.columns)
+        assert 18 < total < 23
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return figures.figure3(sizes=SIZES)
+
+    def test_computation_still_prevails(self, series):
+        for point in series.points:
+            assert point.get("client_encrypt") > point.get("communication")
+
+    def test_communication_substantial(self, series):
+        """Over the modem, communication overtakes the server time."""
+        for point in series.points:
+            assert point.get("communication") > point.get("server_compute")
+
+    def test_slower_than_short_distance(self):
+        short = figures.figure2(sizes=(2_000,)).final()
+        long_ = figures.figure3(sizes=(2_000,)).final()
+        assert long_.get("client_encrypt") > short.get("client_encrypt")
+        assert long_.get("communication") > 10 * short.get("communication")
+
+
+class TestFigure4:
+    def test_paper_reduction(self):
+        series = figures.figure4(sizes=SIZES)
+        for point in series.points:
+            assert 7 < point.get("reduction_pct") < 13
+            assert point.get("with_batching") < point.get("without_batching")
+
+
+class TestFigure5:
+    def test_server_dominant_online(self):
+        series = figures.figure5(sizes=SIZES)
+        for point in series.points:
+            assert point.get("server_compute") > point.get("client_encrypt")
+            assert point.get("server_compute") > point.get("communication")
+
+    def test_online_reduction_vs_figure2(self):
+        """The paper reports ~82% online reduction."""
+        fig2 = figures.figure2(sizes=(4_000,)).final()
+        fig5 = figures.figure5(sizes=(4_000,)).final()
+        total2 = sum(fig2.get(c) for c in figures.COMPONENT_COLUMNS)
+        total5 = sum(fig5.get(c) for c in figures.COMPONENT_COLUMNS)
+        reduction = 1 - total5 / total2
+        assert 0.75 < reduction < 0.92
+
+
+class TestFigure6:
+    def test_communication_dominates(self):
+        series = figures.figure6(sizes=SIZES)
+        for point in series.points:
+            assert point.get("communication") > point.get("server_compute")
+            assert point.get("communication") > point.get("client_encrypt")
+
+
+class TestFigure7:
+    def test_paper_reduction(self):
+        series = figures.figure7(sizes=SIZES)
+        for point in series.points:
+            assert 90 < point.get("reduction_pct") < 96
+
+
+class TestFigure9:
+    def test_paper_speedup(self):
+        series = figures.figure9(sizes=SIZES)
+        for point in series.points:
+            assert 2.8 < point.get("speedup") < 3.05
+
+    def test_java_slower_than_cpp_figures(self):
+        java = figures.figure9(sizes=(2_000,)).final()
+        cpp = figures.figure4(sizes=(2_000,)).final()
+        assert java.get("without_secret_sharing") > 4 * cpp.get("without_batching")
+
+
+class TestTextExperiments:
+    def test_language_factor_is_five(self):
+        series = figures.text_language_factor(sizes=(2_000,))
+        assert series.final().get("compute_ratio") == pytest.approx(5.0, rel=0.01)
+
+    def test_yao_baseline_comparison(self):
+        series = figures.text_yao_baseline(sizes=(8,), value_bits=8)
+        point = series.final()
+        # Fairplay's modelled 15-min-at-100 scales to 1.2 min at n=8.
+        assert point.get("fairplay_model") == pytest.approx(1.2)
+        # The homomorphic protocol is orders of magnitude faster there.
+        assert point.get("homomorphic_model") < point.get("fairplay_model") / 100
+
+
+class TestAblations:
+    def test_batch_size_sweep(self):
+        series = figures.ablation_batch_size(batch_sizes=(1, 100, 2_000), n=2_000)
+        makespans = series.column("makespan")
+        assert all(m > 0 for m in makespans)
+        # The paper's batch=100 beats no-op batching (whole db as one batch).
+        assert series.at(100).get("makespan") <= series.at(2_000).get("makespan")
+
+    def test_key_size_sweep(self):
+        series = figures.ablation_key_size(key_sizes=(256, 512, 1024), n=2_000)
+        encrypt = series.column("client_encrypt")
+        assert encrypt[1] == pytest.approx(8 * encrypt[0], rel=0.01)  # cubic
+        comm = series.column("communication")
+        assert comm[2] > comm[0]  # bigger ciphertexts
+
+    def test_client_sweep(self):
+        series = figures.ablation_clients(client_counts=(2, 4), n=2_000)
+        assert series.at(4).get("speedup") > series.at(2).get("speedup")
+        assert series.at(2).get("speedup") == pytest.approx(2.0, rel=0.1)
+
+    def test_link_sweep(self):
+        series = figures.ablation_link(n=2_000)
+        comm = series.column("communication")
+        assert comm[0] < comm[1] < comm[2]  # cluster < wireless < modem
+
+    def test_tradeoff_sweep(self):
+        series = figures.ablation_tradeoff(superset_factors=(1.0, 10.0), n=2_000)
+        assert series.at(1.0).get("makespan") < series.at(10.0).get("makespan")
+        assert series.at(1.0).get("anonymity_ratio") == 1.0
+        assert series.at(10.0).get("anonymity_ratio") == pytest.approx(0.1)
+
+
+class TestInfrastructure:
+    def test_default_sizes_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_QUICK", raising=False)
+        assert len(figures.default_sizes()) == 10
+        monkeypatch.setenv("REPRO_QUICK", "1")
+        assert figures.default_sizes() == figures.QUICK_SIZES
+
+    def test_run_paper_figures(self):
+        results = figures.run_paper_figures(sizes=(1_000,))
+        assert set(results) == {
+            "figure2", "figure3", "figure4", "figure5",
+            "figure6", "figure7", "figure9",
+        }
+        for series in results.values():
+            assert series.points

@@ -1,0 +1,101 @@
+"""Regression lock: the reproduced numbers, pinned.
+
+The performance model is deterministic, so every figure's values are
+exactly reproducible.  This suite pins the headline numbers recorded in
+EXPERIMENTS.md — if an engine or model change moves any of them, this
+fails loudly and EXPERIMENTS.md must be re-derived (that is the point:
+the documented numbers and the code can never drift apart silently).
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+
+N = 100_000
+REL = 1e-3
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return figures.figure2(sizes=(N,)).final()
+
+
+class TestFigure2Lock:
+    def test_components_at_100k(self, fig2):
+        assert fig2.get("client_encrypt") == pytest.approx(18.00, rel=REL)
+        assert fig2.get("server_compute") == pytest.approx(1.3333, rel=REL)
+        assert fig2.get("communication") == pytest.approx(0.7518, rel=REL)
+        assert fig2.get("client_decrypt") == pytest.approx(0.000183, rel=1e-2)
+
+    def test_total_at_100k(self, fig2):
+        total = sum(
+            fig2.get(c) for c in (
+                "client_encrypt", "server_compute",
+                "communication", "client_decrypt",
+            )
+        )
+        assert total == pytest.approx(20.085, rel=REL)
+
+
+class TestFigure3Lock:
+    def test_components_at_100k(self):
+        point = figures.figure3(sizes=(N,)).final()
+        assert point.get("client_encrypt") == pytest.approx(72.00, rel=REL)
+        assert point.get("server_compute") == pytest.approx(2.667, rel=REL)
+        assert point.get("communication") == pytest.approx(33.14, rel=REL)
+
+
+class TestOptimizationLocks:
+    def test_figure4_batching_reduction(self):
+        point = figures.figure4(sizes=(N,)).final()
+        assert point.get("reduction_pct") == pytest.approx(10.37, abs=0.05)
+        assert point.get("with_batching") == pytest.approx(18.00, rel=REL)
+
+    def test_figure5_preprocessing_components(self):
+        point = figures.figure5(sizes=(N,)).final()
+        assert point.get("client_encrypt") == pytest.approx(0.8333, rel=REL)
+        assert point.get("server_compute") == pytest.approx(1.3333, rel=REL)
+
+    def test_figure6_modem_communication_dominates(self):
+        point = figures.figure6(sizes=(N,)).final()
+        assert point.get("communication") == pytest.approx(33.14, rel=REL)
+        assert point.get("client_encrypt") == pytest.approx(3.333, rel=REL)
+
+    def test_figure7_combined_reduction(self):
+        point = figures.figure7(sizes=(N,)).final()
+        assert point.get("reduction_pct") == pytest.approx(93.36, abs=0.05)
+        assert point.get("combined") == pytest.approx(1.334, rel=REL)
+
+    def test_figure9_multiclient(self):
+        point = figures.figure9(sizes=(N,)).final()
+        assert point.get("without_secret_sharing") == pytest.approx(97.42, rel=REL)
+        assert point.get("with_secret_sharing") == pytest.approx(32.48, rel=REL)
+        assert point.get("speedup") == pytest.approx(3.00, abs=0.005)
+
+    def test_language_factor(self):
+        point = figures.text_language_factor(sizes=(N,)).final()
+        assert point.get("compute_ratio") == pytest.approx(5.00, rel=1e-6)
+
+
+class TestEstimatorLock:
+    """The estimator predicts the same locked numbers analytically."""
+
+    def test_plain_estimate_matches_lock(self):
+        from repro.experiments.environments import short_distance
+        from repro.spfe.estimator import ProtocolCostEstimator
+
+        estimate = ProtocolCostEstimator(short_distance.context()).plain(N)
+        assert estimate.online_minutes() == pytest.approx(20.085, rel=REL)
+        assert estimate.breakdown.client_encrypt_s / 60 == pytest.approx(
+            18.00, rel=REL
+        )
+
+    def test_wire_bytes_lock(self):
+        from repro.experiments.environments import short_distance
+        from repro.spfe.estimator import ProtocolCostEstimator
+
+        estimate = ProtocolCostEstimator(short_distance.context()).plain(N)
+        # 72-byte key message + 100,000 x 136-byte ciphertext messages.
+        assert estimate.bytes_up == 72 + N * 136
+        assert estimate.bytes_down == 136

@@ -1,0 +1,81 @@
+"""Tests for experiment series and table rendering."""
+
+import os
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments.series import ExperimentSeries, SeriesPoint
+from repro.experiments.tables import render_chart, render_table, write_result_file
+
+
+@pytest.fixture()
+def series():
+    s = ExperimentSeries(
+        experiment_id="figX",
+        title="A test figure",
+        x_label="n",
+        unit="min",
+        columns=["alpha", "beta"],
+    )
+    s.add(10, alpha=1.0, beta=0.5)
+    s.add(20, alpha=2.0, beta=1.0)
+    return s
+
+
+class TestSeries:
+    def test_columns(self, series):
+        assert series.column("alpha") == [1.0, 2.0]
+        assert series.xs() == [10, 20]
+
+    def test_missing_column_rejected(self, series):
+        with pytest.raises(ParameterError):
+            series.add(30, alpha=3.0)
+        with pytest.raises(ParameterError):
+            series.add(30, alpha=3.0, beta=1.0, gamma=2.0)
+
+    def test_point_lookup(self, series):
+        assert series.at(20).get("beta") == 1.0
+        with pytest.raises(ParameterError):
+            series.at(99)
+        with pytest.raises(ParameterError):
+            series.at(10).get("gamma")
+
+    def test_final(self, series):
+        assert series.final().x == 20
+        empty = ExperimentSeries("e", "t", "x", "u", ["a"])
+        with pytest.raises(ParameterError):
+            empty.final()
+
+
+class TestRendering:
+    def test_table_contains_data(self, series):
+        text = render_table(series)
+        assert "figX" in text
+        assert "alpha (min)" in text
+        assert "2.00" in text
+
+    def test_table_with_notes(self, series):
+        series.notes = "important caveat"
+        assert "important caveat" in render_table(series)
+
+    def test_chart(self, series):
+        text = render_chart(series, "alpha", width=20)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        # The bigger value gets the longer bar.
+        assert lines[2].count("#") > lines[1].count("#")
+
+    def test_write_result_file(self, series, tmp_path):
+        path = write_result_file(render_table(series), "figX.txt", str(tmp_path))
+        assert os.path.exists(path)
+        with open(path) as handle:
+            assert "figX" in handle.read()
+
+
+class TestSeriesPoint:
+    def test_get(self):
+        p = SeriesPoint(5, {"a": 1.0})
+        assert p.get("a") == 1.0
+        with pytest.raises(ParameterError):
+            p.get("b")

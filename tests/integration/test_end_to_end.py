@@ -1,0 +1,159 @@
+"""Integration tests: whole-system runs across layer boundaries.
+
+These are the slow-but-load-bearing tests: real 512-bit Paillier (the
+paper's key size), every protocol variant against every scheme, and the
+modelled/measured consistency checks that justify the benches.
+"""
+
+import pytest
+
+from repro.crypto.elgamal import ExponentialElGamalScheme
+from repro.crypto.paillier import PaillierScheme
+from repro.crypto.simulated import SimulatedPaillier
+from repro.datastore.database import ServerDatabase
+from repro.datastore.workload import WorkloadGenerator
+from repro.experiments.environments import long_distance, short_distance
+from repro.spfe.batching import BatchedSelectedSumProtocol
+from repro.spfe.combined import CombinedSelectedSumProtocol
+from repro.spfe.context import ExecutionContext
+from repro.spfe.multiclient import MultiClientSelectedSumProtocol
+from repro.spfe.preprocessing import PreprocessedSelectedSumProtocol
+from repro.spfe.selected_sum import SelectedSumProtocol
+from repro.spfe.statistics import PrivateStatisticsClient
+
+
+ALL_VARIANTS = [
+    lambda ctx: SelectedSumProtocol(ctx),
+    lambda ctx: BatchedSelectedSumProtocol(ctx, batch_size=10),
+    lambda ctx: PreprocessedSelectedSumProtocol(ctx),
+    lambda ctx: CombinedSelectedSumProtocol(ctx, batch_size=10),
+    lambda ctx: MultiClientSelectedSumProtocol(ctx, num_clients=2),
+]
+
+
+class TestPaperKeySize:
+    """One full run at the paper's exact parameters (512-bit Paillier)."""
+
+    def test_plain_protocol_512_bits(self):
+        generator = WorkloadGenerator("e2e-512")
+        database = generator.database(40)  # 32-bit values, real crypto
+        selection = generator.random_selection(40, 10)
+        ctx = ExecutionContext(
+            scheme=PaillierScheme(), key_bits=512, mode="measured", rng="e2e"
+        )
+        result = SelectedSumProtocol(ctx).run(database, selection)
+        assert result.value == database.select_sum(selection)
+        assert result.bytes_up == 72 + 40 * 136  # the paper's wire sizes
+
+    def test_statistics_512_bits(self):
+        generator = WorkloadGenerator("e2e-stats")
+        database = generator.database(30, value_bits=16)
+        selection = generator.random_selection(30, 12)
+        ctx = ExecutionContext(
+            scheme=PaillierScheme(), key_bits=512, mode="measured", rng="st"
+        )
+        stats = PrivateStatisticsClient(ctx)
+        import numpy as np
+
+        mask = np.array(selection, dtype=bool)
+        values = np.array(database.values, dtype=float)[mask]
+        assert stats.mean(database, selection).value == pytest.approx(values.mean())
+        assert stats.variance(database, selection).value == pytest.approx(
+            values.var()
+        )
+
+
+class TestEveryVariantEveryScheme:
+    @pytest.mark.parametrize("variant_index", range(len(ALL_VARIANTS)))
+    def test_real_paillier(self, variant_index):
+        generator = WorkloadGenerator("vx-%d" % variant_index)
+        database = generator.database(20, value_bits=16)
+        selection = generator.random_selection(20, 6)
+        ctx = ExecutionContext(
+            scheme=PaillierScheme(), key_bits=192, mode="measured",
+            rng="vx-%d" % variant_index,
+        )
+        result = ALL_VARIANTS[variant_index](ctx).run(database, selection)
+        assert result.value == database.select_sum(selection)
+
+    @pytest.mark.parametrize("variant_index", range(len(ALL_VARIANTS)))
+    def test_simulated_scheme(self, variant_index):
+        generator = WorkloadGenerator("vs-%d" % variant_index)
+        database = generator.database(20, value_bits=16)
+        selection = generator.random_selection(20, 6)
+        ctx = ExecutionContext(rng="vs-%d" % variant_index)
+        result = ALL_VARIANTS[variant_index](ctx).run(database, selection)
+        assert result.value == database.select_sum(selection)
+
+    def test_exponential_elgamal_small_sums(self):
+        """The ablation scheme works for small sums (and only those)."""
+        database = ServerDatabase([3, 1, 4, 1, 5, 9, 2, 6], value_bits=8)
+        selection = [1, 0, 1, 1, 0, 1, 0, 1]
+        scheme = ExponentialElGamalScheme(max_plaintext=10_000)
+        ctx = ExecutionContext(
+            scheme=scheme, key_bits=128, mode="measured", rng="eg"
+        )
+        result = SelectedSumProtocol(ctx).run(database, selection)
+        assert result.value == database.select_sum(selection)
+
+
+class TestModelledMeasuredConsistency:
+    """The substitution argument (DESIGN.md §3): the same protocol run
+    under the simulated scheme and under real Paillier must produce the
+    same value, the same byte counts, and the same message counts —
+    only the timing source differs."""
+
+    @pytest.mark.parametrize("factory", ALL_VARIANTS)
+    def test_transcript_structure_identical(self, factory):
+        generator = WorkloadGenerator("consistency")
+        database = generator.database(24, value_bits=16)
+        selection = generator.random_selection(24, 8)
+
+        modelled = factory(
+            ExecutionContext(scheme=SimulatedPaillier("m"), key_bits=192, rng="c1")
+        ).run(database, selection)
+        measured = factory(
+            ExecutionContext(
+                scheme=PaillierScheme(), key_bits=192, mode="measured", rng="c2"
+            )
+        ).run(database, selection)
+
+        assert modelled.value == measured.value == database.select_sum(selection)
+        assert modelled.bytes_up == measured.bytes_up
+        assert modelled.bytes_down == measured.bytes_down
+        assert modelled.messages == measured.messages
+
+
+class TestEnvironmentsEndToEnd:
+    def test_both_paper_environments(self):
+        generator = WorkloadGenerator("envs")
+        database = generator.database(500)
+        selection = generator.random_selection(500, 20)
+        short = SelectedSumProtocol(short_distance.context(seed="a")).run(
+            database, selection
+        )
+        long_ = SelectedSumProtocol(long_distance.context(seed="b")).run(
+            database, selection
+        )
+        assert short.value == long_.value == database.select_sum(selection)
+        # Long distance: slower client (4x) and much slower link.
+        assert long_.breakdown.client_encrypt_s == pytest.approx(
+            4 * short.breakdown.client_encrypt_s
+        )
+        assert long_.breakdown.communication_s > 20 * short.breakdown.communication_s
+
+    def test_key_reuse_across_queries(self):
+        """A client amortizes key generation over many queries."""
+        generator = WorkloadGenerator("reuse")
+        database = generator.database(100)
+        ctx = ExecutionContext(rng="reuse")
+        keypair, _ = ctx.generate_keypair()
+        results = []
+        for i in range(3):
+            selection = generator.random_selection(100, 10 + i)
+            result = SelectedSumProtocol(ctx).run(
+                database, selection, keypair=keypair
+            )
+            result.verify(database.select_sum(selection))
+            results.append(result)
+        assert all(r.metadata["keygen_s"] == 0.0 for r in results)

@@ -1,0 +1,129 @@
+"""Tests for :mod:`repro.net.channel` and :mod:`repro.net.wire`."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ChannelError
+from repro.net.channel import Channel, Pipe
+from repro.net.link import LinkModel, links
+from repro.net.wire import Message, MessageLog, vector_wire_bytes
+
+
+def msg(kind="data", payload=None, size=100, sender="client"):
+    return Message(kind, payload, size, sender)
+
+
+SLOW = LinkModel("slow", bandwidth_bps=8000, latency_s=0.5, per_message_overhead_s=0.1)
+
+
+class TestMessage:
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            Message("k", None, -1, "s")
+
+    def test_vector_wire_bytes(self):
+        assert vector_wire_bytes(10, 128, per_message=True) == 10 * 128 + 10 * 8
+        assert vector_wire_bytes(10, 128, per_message=False) == 10 * 128 + 8
+        with pytest.raises(ValueError):
+            vector_wire_bytes(-1, 8, True)
+
+
+class TestMessageLog:
+    def test_accounting(self):
+        log = MessageLog()
+        log.record(msg("a", 1, 10))
+        log.record(msg("b", 2, 20))
+        log.record(msg("a", 3, 30))
+        assert log.total_bytes() == 60
+        assert log.count() == 3
+        assert log.count("a") == 2
+        assert log.payloads("a") == [1, 3]
+
+
+class TestPipe:
+    def test_fifo_delivery(self):
+        pipe = Pipe(links.loopback)
+        pipe.send(msg(payload=1))
+        pipe.send(msg(payload=2))
+        assert pipe.recv()[0].payload == 1
+        assert pipe.recv()[0].payload == 2
+
+    def test_empty_recv_raises(self):
+        with pytest.raises(ChannelError):
+            Pipe(links.loopback).recv()
+
+    def test_byte_counters(self):
+        pipe = Pipe(links.loopback)
+        pipe.send(msg(size=100))
+        pipe.send(msg(size=50))
+        assert pipe.bytes_sent == 150
+        assert pipe.messages_sent == 2
+
+    def test_arrival_formula_single_message(self):
+        pipe = Pipe(SLOW)
+        # 1000 bytes at 8000 bps = 1s serial + 0.1 overhead + 0.5 latency
+        arrival = pipe.send(msg(size=1000), sender_time=2.0)
+        assert arrival == pytest.approx(3.6)
+
+    def test_stream_serializes_on_link(self):
+        pipe = Pipe(SLOW)
+        first = pipe.send(msg(size=1000), sender_time=0.0)
+        second = pipe.send(msg(size=1000), sender_time=0.0)
+        # Second message waits for the first to clear the link.
+        assert second == pytest.approx(first + 1.1)
+
+    def test_overhead_charged_per_message(self):
+        pipe = Pipe(SLOW)
+        last = 0.0
+        for _ in range(10):
+            last = pipe.send(msg(size=0), sender_time=0.0)
+        # 10 messages of pure overhead: 10 * 0.1 + latency.
+        assert last == pytest.approx(10 * 0.1 + 0.5)
+
+    def test_sender_time_respected(self):
+        pipe = Pipe(SLOW)
+        pipe.send(msg(size=1000), sender_time=0.0)
+        # A message produced long after the link went idle starts then.
+        late = pipe.send(msg(size=1000), sender_time=100.0)
+        assert late == pytest.approx(101.6)
+
+    def test_reset_clock(self):
+        pipe = Pipe(SLOW)
+        pipe.send(msg(size=1000), sender_time=0.0)
+        pipe.recv()
+        pipe.reset_clock()
+        assert pipe.send(msg(size=1000), sender_time=0.0) == pytest.approx(1.6)
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=30))
+    def test_arrivals_monotone(self, sizes):
+        pipe = Pipe(SLOW)
+        arrivals = [pipe.send(msg(size=s), sender_time=0.0) for s in sizes]
+        assert arrivals == sorted(arrivals)
+
+
+class TestChannel:
+    def test_directional_accounting(self):
+        channel = Channel(links.loopback)
+        channel.client_send(msg(size=100))
+        channel.client_send(msg(size=100))
+        channel.server_send(msg(size=30, sender="server"))
+        assert channel.bytes_up == 200
+        assert channel.bytes_down == 30
+        assert channel.total_bytes() == 230
+
+    def test_views_record_received_only(self):
+        channel = Channel(links.loopback)
+        channel.client_send(msg("request"))
+        channel.server_recv()
+        channel.server_send(msg("reply", sender="server"))
+        channel.client_recv()
+        assert channel.server_view.count("request") == 1
+        assert channel.client_view.count("reply") == 1
+
+    def test_drain_check(self):
+        channel = Channel(links.loopback)
+        channel.client_send(msg())
+        with pytest.raises(ChannelError):
+            channel.drain_check()
+        channel.server_recv()
+        channel.drain_check()  # no raise

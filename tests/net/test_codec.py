@@ -1,0 +1,140 @@
+"""Tests for the byte-level wire codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ProtocolError
+from repro.net import codec
+from repro.net.codec import Frame, FrameDecoder, FrameType
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        data = codec.encode_frame(FrameType.RESULT, b"payload")
+        decoder = FrameDecoder()
+        decoder.feed(data)
+        frames = list(decoder.frames())
+        assert frames == [Frame(FrameType.RESULT, b"payload")]
+
+    def test_header_size_matches_model(self):
+        """The codec's 8-byte header is exactly what the performance
+        model charges per message (FRAME_HEADER_BYTES)."""
+        from repro.crypto.serialization import FRAME_HEADER_BYTES
+
+        data = codec.encode_frame(FrameType.RESULT, b"")
+        assert len(data) == FRAME_HEADER_BYTES
+
+    def test_unknown_type_rejected_on_encode(self):
+        with pytest.raises(ProtocolError):
+            codec.encode_frame(99, b"")
+
+    def test_unknown_type_rejected_on_decode(self):
+        decoder = FrameDecoder()
+        decoder.feed(b"\x00\x00\x00\x63\x00\x00\x00\x00")
+        with pytest.raises(ProtocolError):
+            list(decoder.frames())
+
+    def test_oversized_payload_rejected(self):
+        decoder = FrameDecoder()
+        decoder.feed(b"\x00\x00\x00\x01\xff\xff\xff\xff")
+        with pytest.raises(ProtocolError):
+            list(decoder.frames())
+
+    def test_partial_frames_buffered(self):
+        data = codec.encode_frame(FrameType.ERROR, b"oops")
+        decoder = FrameDecoder()
+        decoder.feed(data[:3])
+        assert list(decoder.frames()) == []
+        decoder.feed(data[3:7])
+        assert list(decoder.frames()) == []
+        decoder.feed(data[7:])
+        assert list(decoder.frames()) == [Frame(FrameType.ERROR, b"oops")]
+        assert decoder.pending_bytes() == 0
+
+    def test_multiple_frames_per_feed(self):
+        data = codec.encode_frame(FrameType.HELLO, b"\x00" * 12) + codec.encode_frame(
+            FrameType.ERROR, b"x"
+        )
+        decoder = FrameDecoder()
+        decoder.feed(data)
+        assert len(list(decoder.frames())) == 2
+
+    @given(st.lists(st.binary(max_size=200), max_size=10), st.integers(1, 17))
+    def test_any_chunking_reassembles(self, payloads, read_size):
+        stream = b"".join(
+            codec.encode_frame(FrameType.ERROR, p) for p in payloads
+        )
+        decoder = FrameDecoder()
+        out = []
+        for i in range(0, len(stream), read_size):
+            decoder.feed(stream[i : i + read_size])
+            out.extend(decoder.frames())
+        assert [f.payload for f in out] == payloads
+
+
+class TestPayloadCodecs:
+    def test_hello_roundtrip(self):
+        data = codec.encode_hello(512, 100_000, 64)
+        decoder = FrameDecoder()
+        decoder.feed(data)
+        frame = next(decoder.frames())
+        assert codec.decode_hello(frame.payload) == (512, 100_000, 64)
+
+    def test_hello_version_checked(self):
+        bad = codec._HELLO.pack(codec.PROTOCOL_VERSION + 1, 512, 10, 5)
+        with pytest.raises(ProtocolError):
+            codec.decode_hello(bad)
+
+    def test_hello_length_checked(self):
+        with pytest.raises(ProtocolError):
+            codec.decode_hello(b"short")
+
+    def test_public_key_roundtrip(self):
+        n = 2**511 + 12345
+        data = codec.encode_public_key(n, 512)
+        decoder = FrameDecoder()
+        decoder.feed(data)
+        frame = next(decoder.frames())
+        assert codec.decode_public_key(frame.payload) == n
+
+    def test_empty_public_key_rejected(self):
+        with pytest.raises(ProtocolError):
+            codec.decode_public_key(b"")
+
+    def test_chunk_roundtrip(self):
+        cts = [1, 2**1000, 17]
+        data = codec.encode_ciphertext_chunk(cts, 512)
+        decoder = FrameDecoder()
+        decoder.feed(data)
+        frame = next(decoder.frames())
+        assert codec.decode_ciphertext_chunk(frame.payload, 512) == cts
+
+    def test_chunk_width_validated(self):
+        data = codec.encode_ciphertext_chunk([1, 2], 512)
+        decoder = FrameDecoder()
+        decoder.feed(data)
+        frame = next(decoder.frames())
+        with pytest.raises(ProtocolError):
+            codec.decode_ciphertext_chunk(frame.payload + b"x", 512)
+        with pytest.raises(ProtocolError):
+            codec.decode_ciphertext_chunk(b"\x00", 512)
+
+    def test_result_roundtrip(self):
+        ct = 2**1000 + 99
+        data = codec.encode_result(ct, 512)
+        decoder = FrameDecoder()
+        decoder.feed(data)
+        frame = next(decoder.frames())
+        assert codec.decode_result(frame.payload, 512) == ct
+
+    def test_result_width_validated(self):
+        with pytest.raises(ProtocolError):
+            codec.decode_result(b"\x00" * 10, 512)
+
+    @given(st.lists(st.integers(0, 2**256 - 1), max_size=20))
+    def test_chunk_roundtrip_property(self, cts):
+        data = codec.encode_ciphertext_chunk(cts, 128)
+        decoder = FrameDecoder()
+        decoder.feed(data)
+        frame = next(decoder.frames())
+        assert codec.decode_ciphertext_chunk(frame.payload, 128) == cts

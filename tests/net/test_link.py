@@ -1,0 +1,73 @@
+"""Tests for :mod:`repro.net.link`."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ParameterError
+from repro.net.link import LinkModel, links
+
+
+class TestLinkModel:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            LinkModel("x", bandwidth_bps=0, latency_s=0, per_message_overhead_s=0)
+        with pytest.raises(ParameterError):
+            LinkModel("x", bandwidth_bps=1, latency_s=-1, per_message_overhead_s=0)
+        with pytest.raises(ParameterError):
+            LinkModel("x", bandwidth_bps=1, latency_s=0, per_message_overhead_s=-1)
+
+    def test_zero_transfer_is_free(self):
+        assert links.cluster.transfer_seconds(0, 0) == 0.0
+
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(ParameterError):
+            links.cluster.transfer_seconds(-1)
+        with pytest.raises(ParameterError):
+            links.cluster.transfer_seconds(1, -1)
+
+    def test_transfer_formula(self):
+        link = LinkModel("t", bandwidth_bps=8000, latency_s=0.5,
+                         per_message_overhead_s=0.1)
+        # 1000 bytes = 8000 bits = 1 second serial + latency + 2 overheads
+        assert link.transfer_seconds(1000, messages=2) == pytest.approx(1.7)
+
+    def test_modem_is_much_slower_than_cluster(self):
+        payload = 13_600_000  # ~the paper's 100k ciphertexts
+        modem = links.modem.transfer_seconds(payload, 1)
+        cluster = links.cluster.transfer_seconds(payload, 1)
+        assert modem > 1000 * cluster
+
+    def test_modem_paper_scale(self):
+        # 100,000 ciphertexts of 136 bytes over 56Kbps: tens of minutes.
+        seconds = links.modem.transfer_seconds(136 * 100_000, 100_000)
+        assert 25 * 60 < seconds < 45 * 60
+
+    def test_seconds_per_message(self):
+        link = LinkModel("t", bandwidth_bps=8000, latency_s=0.5,
+                         per_message_overhead_s=0.1)
+        assert link.seconds_per_message(1000) == pytest.approx(1.1)
+
+    @given(st.integers(0, 10**9), st.integers(0, 10**4))
+    def test_monotone_in_size_and_messages(self, size, messages):
+        link = links.wireless_multihop
+        base = link.transfer_seconds(size, messages)
+        assert link.transfer_seconds(size + 1000, messages) >= base
+        assert link.transfer_seconds(size, messages + 1) >= base
+
+
+class TestPresets:
+    def test_all_presets_exist(self):
+        for name in ("cluster-gigabit", "modem-56k", "wireless-multihop", "loopback"):
+            assert links.by_name(name).name == name
+
+    def test_unknown_preset(self):
+        with pytest.raises(ParameterError):
+            links.by_name("carrier-pigeon")
+
+    def test_bandwidth_ordering(self):
+        assert (
+            links.modem.bandwidth_bps
+            < links.wireless_multihop.bandwidth_bps
+            < links.cluster.bandwidth_bps
+            < links.loopback.bandwidth_bps
+        )

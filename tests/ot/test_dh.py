@@ -1,0 +1,82 @@
+"""Tests for the DDH-based oblivious transfer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.elgamal import SchnorrGroup, _PRECOMPUTED_SAFE_PRIMES
+from repro.crypto.rng import DeterministicRandom
+from repro.exceptions import OTError
+from repro.ot.dh import DHOTReceiver, DHOTSender, dh_oblivious_transfer
+
+
+SMALL_GROUP = SchnorrGroup(_PRECOMPUTED_SAFE_PRIMES[128])
+
+
+class TestCorrectness:
+    def test_both_choices(self):
+        for choice, expected in ((0, 1111), (1, 2222)):
+            result = dh_oblivious_transfer(
+                1111, 2222, choice, SMALL_GROUP, DeterministicRandom(choice)
+            )
+            assert result == expected
+
+    def test_large_messages(self):
+        m0, m1 = 2**200 + 5, 2**190 + 7
+        assert dh_oblivious_transfer(m0, m1, 0, SMALL_GROUP, DeterministicRandom("L")) == m0
+        assert dh_oblivious_transfer(m0, m1, 1, SMALL_GROUP, DeterministicRandom("M")) == m1
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**128), st.integers(0, 2**128), st.integers(0, 1))
+    def test_correctness_property(self, m0, m1, choice):
+        rng = DeterministicRandom(repr((m0, m1, choice)))
+        assert dh_oblivious_transfer(m0, m1, choice, SMALL_GROUP, rng) == (
+            m1 if choice else m0
+        )
+
+
+class TestValidation:
+    def test_bad_choice(self):
+        with pytest.raises(OTError):
+            DHOTReceiver(5, SMALL_GROUP)
+
+    def test_negative_messages(self):
+        with pytest.raises(OTError):
+            DHOTSender(-1, 2, SMALL_GROUP)
+
+    def test_rejects_non_group_elements(self):
+        sender = DHOTSender(1, 2, SMALL_GROUP, DeterministicRandom("a"))
+        sender.round1()
+        with pytest.raises(OTError):
+            sender.round2(0)
+        receiver = DHOTReceiver(0, SMALL_GROUP, DeterministicRandom("b"))
+        with pytest.raises(OTError):
+            receiver.round1(SMALL_GROUP.p)  # not in group
+
+    def test_round_order(self):
+        with pytest.raises(OTError):
+            DHOTSender(1, 2, SMALL_GROUP).round2(4)
+        with pytest.raises(OTError):
+            DHOTReceiver(0, SMALL_GROUP).round2((1, 2), (3, 4), 16)
+
+
+class TestStructure:
+    def test_receiver_key_is_group_element_either_way(self):
+        # pk_0 must be a valid group element regardless of the choice —
+        # otherwise the sender could distinguish the choice bit.
+        rng = DeterministicRandom("g")
+        sender = DHOTSender(7, 9, SMALL_GROUP, rng)
+        c = sender.round1()
+        for choice in (0, 1):
+            pk0 = DHOTReceiver(choice, SMALL_GROUP, DeterministicRandom(choice)).round1(c)
+            assert SMALL_GROUP.contains(pk0)
+
+    def test_agreement_with_egl(self):
+        """Two independent OT constructions agree on the functionality."""
+        from repro.ot.egl import oblivious_transfer
+
+        for choice in (0, 1):
+            dh = dh_oblivious_transfer(10, 20, choice, SMALL_GROUP,
+                                       DeterministicRandom(choice))
+            egl = oblivious_transfer(10, 20, choice, 128,
+                                     DeterministicRandom(choice + 2))
+            assert dh == egl == (20 if choice else 10)

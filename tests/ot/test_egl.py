@@ -1,0 +1,70 @@
+"""Tests for the EGL oblivious transfer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.rng import DeterministicRandom
+from repro.exceptions import OTError
+from repro.ot.egl import OTReceiver, OTSender, oblivious_transfer
+
+
+class TestCorrectness:
+    def test_choice_zero(self):
+        assert oblivious_transfer(111, 222, 0, 128, DeterministicRandom("a")) == 111
+
+    def test_choice_one(self):
+        assert oblivious_transfer(111, 222, 1, 128, DeterministicRandom("b")) == 222
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**64), st.integers(0, 2**64), st.integers(0, 1))
+    def test_correctness_property(self, m0, m1, choice):
+        rng = DeterministicRandom((m0, m1, choice).__repr__())
+        result = oblivious_transfer(m0, m1, choice, 160, rng)
+        assert result == (m1 if choice else m0)
+
+
+class TestValidation:
+    def test_bad_choice(self):
+        with pytest.raises(OTError):
+            OTReceiver(2)
+
+    def test_out_of_range_messages(self):
+        with pytest.raises(OTError):
+            OTSender(2**512, 0, key_bits=128, rng=DeterministicRandom("x"))
+
+    def test_round_order_enforced(self):
+        sender = OTSender(1, 2, key_bits=128, rng=DeterministicRandom("x"))
+        with pytest.raises(OTError):
+            sender.round2(42)
+        receiver = OTReceiver(0, DeterministicRandom("y"))
+        with pytest.raises(OTError):
+            receiver.round2(1, 2)
+
+
+class TestObliviousness:
+    """Structural checks of the hiding directions (not proofs)."""
+
+    def test_receiver_message_same_distribution_shape(self):
+        # The blinded value v reveals nothing structural: for both
+        # choices it is a uniform-looking element of Z_N.
+        rng = DeterministicRandom("shape")
+        sender = OTSender(10, 20, key_bits=128, rng=rng)
+        public, x0, x1 = sender.round1()
+        v0 = OTReceiver(0, DeterministicRandom("r0")).round1(public, x0, x1)
+        v1 = OTReceiver(1, DeterministicRandom("r1")).round1(public, x0, x1)
+        assert 0 <= v0 < public.n
+        assert 0 <= v1 < public.n
+        assert v0 != v1  # fresh blinding, no accidental equality
+
+    def test_unchosen_message_is_masked(self):
+        # The receiver's view of the unchosen reply is offset by a value
+        # it cannot compute (the inverse image of a random element), so
+        # the raw reply must differ from the message itself.
+        rng = DeterministicRandom("mask")
+        sender = OTSender(1234, 5678, key_bits=128, rng=rng)
+        public, x0, x1 = sender.round1()
+        receiver = OTReceiver(0, rng)
+        v = receiver.round1(public, x0, x1)
+        reply0, reply1 = sender.round2(v)
+        assert receiver.round2(reply0, reply1) == 1234
+        assert reply1 != 5678  # the unchosen message never in the clear

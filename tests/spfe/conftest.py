@@ -1,0 +1,32 @@
+"""Shared fixtures for the protocol tests.
+
+Protocol tests default to the simulated scheme (fast) with a modelled
+cluster context; the integration suite re-runs the key paths with real
+Paillier in measured mode.
+"""
+
+import pytest
+
+from repro.datastore.workload import WorkloadGenerator
+from repro.spfe.context import ExecutionContext
+
+
+@pytest.fixture()
+def ctx():
+    return ExecutionContext(rng="spfe-tests")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    generator = WorkloadGenerator("spfe-tests")
+    database = generator.database(500)
+    selection = generator.random_selection(500, 40)
+    return database, selection
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    generator = WorkloadGenerator("spfe-small")
+    database = generator.database(24, value_bits=16)
+    selection = generator.random_selection(24, 7)
+    return database, selection

@@ -1,0 +1,142 @@
+"""Tests for the batched (pipelined) protocol — paper §3.2."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datastore.database import ServerDatabase
+from repro.datastore.workload import WorkloadGenerator
+from repro.exceptions import ParameterError
+from repro.spfe.batching import PAPER_BATCH_SIZE, BatchedSelectedSumProtocol
+from repro.spfe.context import ExecutionContext
+from repro.spfe.selected_sum import SelectedSumProtocol
+from repro.timing.clock import PipelineSchedule
+from repro.timing.costmodel import Op
+
+
+class TestCorrectness:
+    def test_known_sum(self, ctx):
+        db = ServerDatabase([10, 20, 30, 40, 50])
+        result = BatchedSelectedSumProtocol(ctx, batch_size=2).run(
+            db, [1, 1, 0, 0, 1]
+        )
+        assert result.value == 80
+
+    def test_batch_size_one(self, ctx, small_workload):
+        database, selection = small_workload
+        result = BatchedSelectedSumProtocol(ctx, batch_size=1).run(
+            database, selection
+        )
+        assert result.value == database.select_sum(selection)
+
+    def test_batch_larger_than_database(self, ctx, small_workload):
+        database, selection = small_workload
+        result = BatchedSelectedSumProtocol(ctx, batch_size=10_000).run(
+            database, selection
+        )
+        assert result.value == database.select_sum(selection)
+
+    def test_paper_batch_size_constant(self):
+        assert PAPER_BATCH_SIZE == 100
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 200), st.data())
+    def test_any_batch_size_correct(self, batch, data):
+        n = data.draw(st.integers(1, 80))
+        values = data.draw(st.lists(st.integers(0, 1000), min_size=n, max_size=n))
+        bits = data.draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+        db = ServerDatabase(values)
+        ctx = ExecutionContext(rng=repr((batch, values)))
+        result = BatchedSelectedSumProtocol(ctx, batch_size=batch).run(db, bits)
+        assert result.value == db.select_sum(bits)
+
+
+class TestValidation:
+    def test_rejects_bad_batch_size(self, ctx):
+        with pytest.raises(ParameterError):
+            BatchedSelectedSumProtocol(ctx, batch_size=0)
+
+
+class TestPipelineTiming:
+    def _pair(self, n=2000, batch=100, seed="pipe"):
+        generator = WorkloadGenerator(seed)
+        database = generator.database(n)
+        selection = generator.random_selection(n, n // 20)
+        plain = SelectedSumProtocol(ExecutionContext(rng=seed)).run(
+            database, selection
+        )
+        batched = BatchedSelectedSumProtocol(
+            ExecutionContext(rng=seed), batch_size=batch
+        ).run(database, selection)
+        return plain, batched
+
+    def test_batching_reduces_makespan(self):
+        plain, batched = self._pair()
+        assert batched.makespan_s < plain.makespan_s
+
+    def test_paper_reduction_magnitude(self):
+        """The paper reports ~10% reduction with batch size 100."""
+        plain, batched = self._pair(n=5000, batch=PAPER_BATCH_SIZE)
+        reduction = 1 - batched.makespan_s / plain.makespan_s
+        assert 0.07 < reduction < 0.13
+
+    def test_makespan_at_least_dominant_component(self):
+        _, batched = self._pair()
+        b = batched.breakdown
+        dominant = max(b.client_encrypt_s, b.server_compute_s, b.communication_s)
+        assert batched.makespan_s >= dominant
+
+    def test_makespan_below_sequential_sum(self):
+        _, batched = self._pair()
+        assert batched.makespan_s < batched.breakdown.total_online_s()
+
+    def test_component_totals_unchanged_by_batching(self):
+        """Batching overlaps work; it does not remove compute work."""
+        plain, batched = self._pair()
+        assert batched.breakdown.client_encrypt_s == pytest.approx(
+            plain.breakdown.client_encrypt_s
+        )
+        assert batched.breakdown.server_compute_s == pytest.approx(
+            plain.breakdown.server_compute_s
+        )
+
+    def test_batching_reduces_message_count_and_bytes(self):
+        plain, batched = self._pair()
+        assert batched.messages < plain.messages
+        assert batched.bytes_up < plain.bytes_up
+
+    def test_agrees_with_pipeline_recurrence(self):
+        """Cross-validate the event-driven channel timing against the
+        closed-form flow-shop recurrence of PipelineSchedule."""
+        n, batch, seed = 1000, 50, "xval"
+        generator = WorkloadGenerator(seed)
+        database = generator.database(n)
+        selection = generator.random_selection(n, 10)
+        ctx = ExecutionContext(rng=seed)
+        result = BatchedSelectedSumProtocol(ctx, batch_size=batch).run(
+            database, selection
+        )
+
+        batches = n // batch
+        enc = batch * ctx.op_cost("client", Op.ENCRYPT)
+        wire = ctx.link.seconds_per_message(batch * 128 + 8)
+        srv = batch * ctx.op_cost("server", Op.WEIGHTED_STEP)
+        schedule = PipelineSchedule(
+            [enc] * batches, [wire] * batches, [srv] * batches
+        )
+        # Event-driven makespan = recurrence + result return + decrypt
+        # + pk-message and latency slack (small constants).
+        tail = (
+            ctx.op_cost("client", Op.DECRYPT)
+            + ctx.link.seconds_per_message(136)
+            + 2 * ctx.link.latency_s
+        )
+        lower = schedule.makespan()
+        upper = schedule.makespan() + tail + 0.01
+        assert lower <= result.makespan_s <= upper
+
+    def test_metadata_records_batch_size(self, ctx, small_workload):
+        database, selection = small_workload
+        result = BatchedSelectedSumProtocol(ctx, batch_size=7).run(
+            database, selection
+        )
+        assert result.metadata["batch_size"] == 7

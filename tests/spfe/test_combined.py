@@ -1,0 +1,95 @@
+"""Tests for the combined optimizations — paper §3.4."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datastore.database import ServerDatabase
+from repro.datastore.workload import WorkloadGenerator
+from repro.exceptions import ParameterError, ProtocolError
+from repro.spfe.batching import BatchedSelectedSumProtocol
+from repro.spfe.combined import CombinedSelectedSumProtocol
+from repro.spfe.context import ExecutionContext
+from repro.spfe.preprocessing import PreprocessedSelectedSumProtocol
+from repro.spfe.selected_sum import SelectedSumProtocol
+
+
+class TestCorrectness:
+    def test_known_sum(self, ctx):
+        db = ServerDatabase([10, 20, 30, 40, 50])
+        result = CombinedSelectedSumProtocol(ctx, batch_size=2).run(
+            db, [0, 1, 1, 0, 1]
+        )
+        assert result.value == 100
+
+    def test_rejects_weights(self, ctx):
+        db = ServerDatabase([1, 2])
+        with pytest.raises(ProtocolError):
+            CombinedSelectedSumProtocol(ctx).run(db, [2, 1])
+
+    def test_rejects_bad_batch(self, ctx):
+        with pytest.raises(ParameterError):
+            CombinedSelectedSumProtocol(ctx, batch_size=0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.data())
+    def test_random_workloads(self, data):
+        n = data.draw(st.integers(1, 60))
+        batch = data.draw(st.integers(1, 20))
+        values = data.draw(st.lists(st.integers(0, 999), min_size=n, max_size=n))
+        bits = data.draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+        db = ServerDatabase(values)
+        ctx = ExecutionContext(rng=repr((batch, values)))
+        result = CombinedSelectedSumProtocol(ctx, batch_size=batch).run(db, bits)
+        assert result.value == db.select_sum(bits)
+
+
+class TestTiming:
+    def _all_variants(self, n=4000, seed="comb"):
+        generator = WorkloadGenerator(seed)
+        database = generator.database(n)
+        selection = generator.random_selection(n, n // 20)
+
+        def run(protocol_cls, **kwargs):
+            return protocol_cls(ExecutionContext(rng=seed), **kwargs).run(
+                database, selection
+            )
+
+        return {
+            "plain": run(SelectedSumProtocol),
+            "batched": run(BatchedSelectedSumProtocol),
+            "preprocessed": run(PreprocessedSelectedSumProtocol),
+            "combined": run(CombinedSelectedSumProtocol),
+        }
+
+    def test_combined_is_fastest(self):
+        results = self._all_variants()
+        makespans = {k: v.makespan_s for k, v in results.items()}
+        assert makespans["combined"] < makespans["preprocessed"]
+        assert makespans["combined"] < makespans["batched"]
+        assert makespans["combined"] < makespans["plain"]
+
+    def test_paper_reduction_magnitude(self):
+        """The paper reports ~94% online reduction for the combination."""
+        results = self._all_variants(n=8000)
+        reduction = 1 - results["combined"].makespan_s / results["plain"].makespan_s
+        assert 0.90 < reduction < 0.96
+
+    def test_bounded_by_server_total(self):
+        """With client work gone and chunks pipelined, the makespan
+        approaches the server's total product time."""
+        results = self._all_variants()
+        combined = results["combined"]
+        server_total = combined.breakdown.server_compute_s
+        assert combined.makespan_s >= server_total
+        assert combined.makespan_s < 1.4 * server_total
+
+    def test_offline_equivalent_to_preprocessed(self):
+        results = self._all_variants()
+        assert results["combined"].breakdown.offline_precompute_s == pytest.approx(
+            results["preprocessed"].breakdown.offline_precompute_s
+        )
+
+    def test_all_variants_agree_on_value(self):
+        results = self._all_variants()
+        values = {r.value for r in results.values()}
+        assert len(values) == 1

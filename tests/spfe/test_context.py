@@ -1,0 +1,107 @@
+"""Tests for :mod:`repro.spfe.context`."""
+
+import pytest
+
+from repro.crypto.paillier import PaillierScheme
+from repro.crypto.simulated import SimulatedPaillier
+from repro.exceptions import ParameterError
+from repro.net.link import links
+from repro.spfe.context import CLIENT, SERVER, ExecutionContext
+from repro.timing.costmodel import Op, profiles
+
+
+class TestConstruction:
+    def test_defaults_modelled(self):
+        ctx = ExecutionContext()
+        assert isinstance(ctx.scheme, SimulatedPaillier)
+        assert ctx.link is links.cluster
+        assert ctx.mode == "modelled"
+        assert ctx.key_bits == 512
+
+    def test_defaults_measured(self):
+        ctx = ExecutionContext(mode="measured")
+        assert isinstance(ctx.scheme, PaillierScheme)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ParameterError):
+            ExecutionContext(mode="psychic")
+
+    def test_invalid_key_bits(self):
+        with pytest.raises(ParameterError):
+            ExecutionContext(key_bits=8)
+
+    def test_describe(self):
+        text = ExecutionContext().describe()
+        assert "simulated-paillier" in text
+        assert "cluster-gigabit" in text
+
+
+class TestProfiles:
+    def test_party_routing(self):
+        ctx = ExecutionContext(
+            client_profile=profiles.ultrasparc_500mhz,
+            server_profile=profiles.pentium_1ghz,
+        )
+        assert ctx.profile_for(CLIENT) is profiles.ultrasparc_500mhz
+        assert ctx.profile_for("client-2") is profiles.ultrasparc_500mhz
+        assert ctx.profile_for(SERVER) is profiles.pentium_1ghz
+
+    def test_unknown_party(self):
+        with pytest.raises(ParameterError):
+            ExecutionContext().profile_for("eve")
+
+
+class TestComputeBlocks:
+    def test_modelled_charge(self):
+        ctx = ExecutionContext()
+        with ctx.compute(CLIENT, Op.ENCRYPT, 100) as block:
+            pass
+        expected = 100 * profiles.pentium3_2ghz.cost(Op.ENCRYPT, 512)
+        assert block.seconds == pytest.approx(expected)
+
+    def test_modelled_scales_with_key_bits(self):
+        small = ExecutionContext(key_bits=256)
+        big = ExecutionContext(key_bits=1024)
+        with small.compute(CLIENT, Op.ENCRYPT, 1) as a:
+            pass
+        with big.compute(CLIENT, Op.ENCRYPT, 1) as b:
+            pass
+        assert b.seconds > a.seconds
+
+    def test_measured_uses_wall_clock(self):
+        ctx = ExecutionContext(mode="measured", key_bits=64)
+        with ctx.compute(CLIENT, Op.ENCRYPT, 1) as block:
+            total = sum(range(10_000))
+        assert total > 0
+        assert block.seconds > 0
+        # Measured time is wall time, unrelated to the model's 10.8 ms.
+        assert block.seconds < 0.1
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ParameterError):
+            ExecutionContext().compute(CLIENT, Op.ENCRYPT, -1)
+
+    def test_op_cost_helper(self):
+        ctx = ExecutionContext()
+        assert ctx.op_cost(SERVER, Op.WEIGHTED_STEP) == pytest.approx(
+            profiles.pentium3_2ghz.cost(Op.WEIGHTED_STEP, 512)
+        )
+
+
+class TestWiring:
+    def test_channels_are_fresh(self):
+        ctx = ExecutionContext()
+        assert ctx.new_channel() is not ctx.new_channel()
+
+    def test_keypair_generation_charged(self):
+        ctx = ExecutionContext(rng="kg")
+        keypair, seconds = ctx.generate_keypair()
+        assert seconds == pytest.approx(
+            profiles.pentium3_2ghz.cost(Op.KEYGEN, 512)
+        )
+        assert keypair.public.bits == 512
+
+    def test_ciphertext_bytes(self):
+        ctx = ExecutionContext(rng="cb")
+        keypair, _ = ctx.generate_keypair()
+        assert ctx.ciphertext_bytes(keypair.public) == 128

@@ -1,0 +1,172 @@
+"""Tests for the one-pass private group-by (plaintext packing)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.paillier import PaillierScheme
+from repro.datastore.database import ServerDatabase
+from repro.datastore.workload import WorkloadGenerator
+from repro.exceptions import ParameterError, ProtocolError
+from repro.spfe.context import ExecutionContext
+from repro.spfe.grouped import GroupedSumProtocol, group_means
+from repro.spfe.selected_sum import SelectedSumProtocol
+
+
+def expected_group_sums(database, groups, num_groups):
+    sums = [0] * num_groups
+    for value, g in zip(database.values, groups):
+        if g is not None and g >= 0:
+            sums[g] += value
+    return sums
+
+
+class TestCorrectness:
+    def test_two_groups(self, ctx):
+        db = ServerDatabase([10, 20, 30, 40, 50])
+        groups = [0, 1, 0, None, 1]
+        result = GroupedSumProtocol(ctx).run_grouped(db, groups)
+        result.verify([40, 70])
+        assert result.total == 110
+        assert result[0] == 40 and result[1] == 70
+
+    def test_single_group_degenerates_to_selected_sum(self, ctx):
+        db = ServerDatabase([5, 6, 7, 8])
+        groups = [0, None, 0, None]
+        result = GroupedSumProtocol(ctx).run_grouped(db, groups)
+        assert result.group_sums == [12]
+
+    def test_empty_groups_are_zero(self, ctx):
+        db = ServerDatabase([5, 6])
+        result = GroupedSumProtocol(ctx).run_grouped(
+            db, [2, 2], num_groups=4
+        )
+        assert result.group_sums == [0, 0, 11, 0]
+
+    def test_negative_means_unselected(self, ctx):
+        db = ServerDatabase([5, 6, 7])
+        result = GroupedSumProtocol(ctx).run_grouped(db, [-1, 0, -1])
+        assert result.group_sums == [6]
+
+    def test_with_real_paillier(self):
+        generator = WorkloadGenerator("grp-real")
+        db = generator.database(20, value_bits=16)
+        groups = [i % 3 if i % 4 else None for i in range(20)]
+        ctx = ExecutionContext(
+            scheme=PaillierScheme(), key_bits=256, mode="measured", rng="g"
+        )
+        result = GroupedSumProtocol(ctx).run_grouped(db, groups, num_groups=3)
+        assert result.group_sums == expected_group_sums(db, groups, 3)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.data())
+    def test_random_groupings(self, data):
+        n = data.draw(st.integers(1, 60))
+        num_groups = data.draw(st.integers(1, 6))
+        values = data.draw(
+            st.lists(st.integers(0, 2**16 - 1), min_size=n, max_size=n)
+        )
+        groups = data.draw(
+            st.lists(
+                st.one_of(st.none(), st.integers(0, num_groups - 1)),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        db = ServerDatabase(values, value_bits=16)
+        ctx = ExecutionContext(rng=repr((values, groups)))
+        result = GroupedSumProtocol(ctx).run_grouped(
+            db, groups, num_groups=num_groups
+        )
+        assert result.group_sums == expected_group_sums(db, groups, num_groups)
+
+
+class TestValidation:
+    def test_length_mismatch(self, ctx):
+        with pytest.raises(ParameterError):
+            GroupedSumProtocol(ctx).run_grouped(ServerDatabase([1]), [0, 1])
+
+    def test_no_assignments(self, ctx):
+        with pytest.raises(ParameterError):
+            GroupedSumProtocol(ctx).run_grouped(ServerDatabase([1]), [None])
+
+    def test_group_id_out_of_range(self, ctx):
+        with pytest.raises(ParameterError):
+            GroupedSumProtocol(ctx).run_grouped(
+                ServerDatabase([1, 2]), [0, 3], num_groups=2
+            )
+
+    def test_run_entry_point_blocked(self, ctx):
+        with pytest.raises(ProtocolError):
+            GroupedSumProtocol(ctx).run(ServerDatabase([1]), [1])
+
+    def test_capacity_check_for_many_groups(self):
+        """Packing 20 groups of 32-bit sums needs > 1024 plaintext bits:
+        a 512-bit key must refuse."""
+        ctx = ExecutionContext(key_bits=512, rng="cap")
+        db = WorkloadGenerator("cap").database(100)
+        groups = [i % 20 for i in range(100)]
+        with pytest.raises(ProtocolError):
+            GroupedSumProtocol(ctx).run_grouped(db, groups)
+
+    def test_many_groups_fit_with_damgard_jurik(self):
+        """The error message's advice works: DJ with s=3 packs what a
+        512-bit Paillier cannot."""
+        from repro.crypto.damgard_jurik import DamgardJurikScheme
+
+        db = WorkloadGenerator("dj-cap").database(40, value_bits=16)
+        groups = [i % 8 for i in range(40)]
+        ctx = ExecutionContext(
+            scheme=DamgardJurikScheme(3), key_bits=128, mode="measured",
+            rng="dj-grp",
+        )
+        result = GroupedSumProtocol(ctx).run_grouped(db, groups)
+        assert result.group_sums == expected_group_sums(db, groups, 8)
+
+
+class TestEfficiency:
+    def test_one_pass_vs_g_passes(self):
+        """The whole point: a g-group group-by costs one protocol run."""
+        generator = WorkloadGenerator("eff")
+        n, g = 2000, 4
+        db = generator.database(n, value_bits=16)
+        groups = [i % g if i % 3 else None for i in range(n)]
+
+        grouped = GroupedSumProtocol(ExecutionContext(rng="one")).run_grouped(
+            db, groups, num_groups=g
+        )
+        single = SelectedSumProtocol(ExecutionContext(rng="per")).run(
+            db, [1 if gr is not None else 0 for gr in groups]
+        )
+        # Equal cost to ONE selected sum, not g of them.
+        assert grouped.run.makespan_s == pytest.approx(
+            single.makespan_s, rel=0.01
+        )
+        assert grouped.run.total_bytes == single.total_bytes
+
+    def test_metadata(self, ctx):
+        db = ServerDatabase([1, 2, 3, 4])
+        result = GroupedSumProtocol(ctx).run_grouped(db, [0, 1, 0, 1])
+        assert result.run.metadata["num_groups"] == 2
+        assert result.run.metadata["radix_bits"] > 0
+        assert result.run.protocol == "grouped"
+
+
+class TestGroupMeans:
+    def test_means(self, ctx):
+        db = ServerDatabase([10, 20, 30, 40])
+        groups = [0, 0, 1, 1]
+        result = GroupedSumProtocol(ctx).run_grouped(db, groups)
+        means = group_means(result, [2, 2])
+        assert means == {0: 15.0, 1: 35.0}
+
+    def test_empty_group_skipped(self, ctx):
+        db = ServerDatabase([10, 20])
+        result = GroupedSumProtocol(ctx).run_grouped(db, [0, 0], num_groups=2)
+        means = group_means(result, [2, 0])
+        assert means == {0: 15.0}
+
+    def test_size_mismatch(self, ctx):
+        db = ServerDatabase([10, 20])
+        result = GroupedSumProtocol(ctx).run_grouped(db, [0, 0])
+        with pytest.raises(ParameterError):
+            group_means(result, [1, 2])

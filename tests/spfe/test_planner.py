@@ -1,0 +1,104 @@
+"""Tests for the analytic protocol planner."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments.environments import long_distance, short_distance
+from repro.spfe.planner import ProtocolPlanner
+
+
+@pytest.fixture()
+def planner():
+    return ProtocolPlanner(short_distance.context())
+
+
+class TestRanking:
+    def test_combined_wins_when_everything_allowed(self, planner):
+        plan = planner.plan(100_000)
+        assert plan.best.protocol == "combined"
+        # The full ladder, in the paper's order of effectiveness.
+        assert plan.ranking() == ["combined", "preprocessed", "batched", "plain"]
+
+    def test_plain_always_admissible(self, planner):
+        plan = planner.plan(
+            1000, allow_preprocessing=False, allow_batching=False
+        )
+        assert plan.ranking() == ["plain"]
+        assert len(plan.rejected) == 2
+
+    def test_multiclient_when_peers_available(self, planner):
+        plan = planner.plan(
+            100_000, allow_preprocessing=False, available_clients=3
+        )
+        assert plan.best.protocol == "multiclient"
+
+    def test_rankings_use_estimates(self, planner):
+        plan = planner.plan(50_000)
+        makespans = [c.makespan_s for c in plan.candidates]
+        assert makespans == sorted(makespans)
+
+
+class TestConstraints:
+    def test_offline_budget(self, planner):
+        # Pool fill at n=100k is ~36 minutes on the P-III.
+        plan = planner.plan(100_000, max_offline_minutes=10)
+        assert "preprocessed" not in plan.ranking()
+        assert "combined" not in plan.ranking()
+        assert any("offline" in reason for reason in plan.rejected)
+
+    def test_offline_budget_generous(self, planner):
+        plan = planner.plan(100_000, max_offline_minutes=120)
+        assert plan.best.protocol == "combined"
+
+    def test_storage_budget(self, planner):
+        # The pool is 2n ciphertexts of 128 B = 25.6 MB at n=100k.
+        plan = planner.plan(100_000, max_client_storage_mb=10)
+        assert "preprocessed" not in plan.ranking()
+        assert any("pool" in reason for reason in plan.rejected)
+
+    def test_storage_budget_scales_with_keys(self):
+        # Bigger keys -> bigger pool -> the same budget excludes sooner.
+        small_keys = ProtocolPlanner(short_distance.context(key_bits=256))
+        large_keys = ProtocolPlanner(short_distance.context(key_bits=2048))
+        budget = 15.0
+        assert "preprocessed" in small_keys.plan(
+            100_000, max_client_storage_mb=budget
+        ).ranking()
+        assert "preprocessed" not in large_keys.plan(
+            100_000, max_client_storage_mb=budget
+        ).ranking()
+
+    def test_validation(self, planner):
+        with pytest.raises(ParameterError):
+            planner.plan(0)
+        with pytest.raises(ParameterError):
+            planner.plan(10, available_clients=0)
+
+    def test_no_candidates_raises_on_best(self):
+        from repro.spfe.planner import QueryPlan
+
+        with pytest.raises(ParameterError):
+            QueryPlan(n=1).best
+
+
+class TestEnvironmentSensitivity:
+    def test_modem_changes_the_calculus(self):
+        """Over the modem, preprocessing saves less (communication
+        dominates the online path), but combined still wins."""
+        cluster_plan = ProtocolPlanner(short_distance.context()).plan(100_000)
+        modem_plan = ProtocolPlanner(long_distance.context()).plan(100_000)
+        assert cluster_plan.best.protocol == "combined"
+        assert modem_plan.best.protocol == "combined"
+        cluster_gain = (
+            cluster_plan.candidates[-1].makespan_s / cluster_plan.best.makespan_s
+        )
+        modem_gain = (
+            modem_plan.candidates[-1].makespan_s / modem_plan.best.makespan_s
+        )
+        assert cluster_gain > modem_gain  # the modem caps the win
+
+    def test_explain_output(self, planner):
+        text = planner.plan(100_000, max_offline_minutes=1).explain()
+        assert "query plan for n = 100000" in text
+        assert "excluded" in text
+        assert "1. " in text

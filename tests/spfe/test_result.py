@@ -1,0 +1,62 @@
+"""Tests for the run-result record itself."""
+
+import pytest
+
+from repro.spfe.result import SumRunResult
+from repro.timing.report import TimingBreakdown
+
+
+@pytest.fixture()
+def result():
+    return SumRunResult(
+        value=12345,
+        n=1000,
+        m=50,
+        breakdown=TimingBreakdown(
+            client_encrypt_s=120.0,
+            server_compute_s=30.0,
+            communication_s=6.0,
+            client_decrypt_s=0.01,
+        ),
+        makespan_s=156.01,
+        bytes_up=136_072,
+        bytes_down=136,
+        messages=1002,
+        scheme="simulated-paillier",
+        link="cluster-gigabit",
+        protocol="plain",
+    )
+
+
+class TestVerify:
+    def test_pass_returns_self(self, result):
+        assert result.verify(12345) is result
+
+    def test_mismatch_raises_with_context(self, result):
+        with pytest.raises(AssertionError) as excinfo:
+            result.verify(0)
+        assert "plain" in str(excinfo.value)
+        assert "12345" in str(excinfo.value)
+
+
+class TestDerivedViews:
+    def test_total_bytes(self, result):
+        assert result.total_bytes == 136_208
+
+    def test_online_minutes(self, result):
+        assert result.online_minutes() == pytest.approx(2.6002, rel=1e-4)
+
+    def test_component_minutes(self, result):
+        minutes = result.component_minutes()
+        assert minutes["client_encrypt"] == pytest.approx(2.0)
+        assert minutes["server_compute"] == pytest.approx(0.5)
+        assert minutes["communication"] == pytest.approx(0.1)
+
+    def test_summary_is_one_line_and_complete(self, result):
+        text = result.summary()
+        assert "\n" not in text
+        for fragment in ("plain", "n=1000", "m=50", "sum=12345"):
+            assert fragment in text
+
+    def test_metadata_defaults_empty(self, result):
+        assert result.metadata == {}

@@ -1,0 +1,190 @@
+"""Tests for the deployable byte-stream sessions (incl. real sockets)."""
+
+import socket
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.rng import DeterministicRandom
+from repro.datastore.database import ServerDatabase
+from repro.datastore.workload import WorkloadGenerator
+from repro.exceptions import ProtocolError
+from repro.net import codec
+from repro.net.codec import FrameType
+from repro.spfe.session import (
+    ClientSession,
+    ServerSession,
+    run_sessions_in_memory,
+)
+
+
+@pytest.fixture(scope="module")
+def workload_bytes():
+    generator = WorkloadGenerator("session-tests")
+    database = generator.database(60, value_bits=16)
+    selection = generator.random_selection(60, 15)
+    return database, selection
+
+
+def make_client(selection, **kwargs):
+    kwargs.setdefault("key_bits", 128)
+    kwargs.setdefault("rng", DeterministicRandom("client"))
+    return ClientSession(selection, **kwargs)
+
+
+class TestInMemory:
+    def test_correct_sum(self, workload_bytes):
+        database, selection = workload_bytes
+        value = run_sessions_in_memory(make_client(selection), ServerSession(database))
+        assert value == database.select_sum(selection)
+
+    def test_chunk_sizes_irrelevant(self, workload_bytes):
+        database, selection = workload_bytes
+        values = {
+            run_sessions_in_memory(
+                make_client(selection, chunk_size=size), ServerSession(database)
+            )
+            for size in (1, 7, 60, 1000)
+        }
+        assert values == {database.select_sum(selection)}
+
+    def test_byte_accounting_symmetric(self, workload_bytes):
+        database, selection = workload_bytes
+        client = make_client(selection)
+        server = ServerSession(database)
+        run_sessions_in_memory(client, server)
+        assert client.bytes_sent == server.bytes_received
+        assert server.bytes_sent == client.bytes_received
+
+    def test_server_sees_only_ciphertexts(self, workload_bytes):
+        """Transcript audit at the byte level: every logged value is a
+        full-size element of Z*_{n^2}, never a small plaintext."""
+        database, selection = workload_bytes
+        client = make_client(selection)
+        server = ServerSession(database)
+        run_sessions_in_memory(client, server)
+        assert len(server.ciphertext_log) == len(database)
+        assert all(ct > 2**64 for ct in server.ciphertext_log)
+        assert len(set(server.ciphertext_log)) == len(database)  # no reuse
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.data())
+    def test_random_workloads(self, data):
+        n = data.draw(st.integers(1, 40))
+        values = data.draw(st.lists(st.integers(0, 999), min_size=n, max_size=n))
+        bits = data.draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+        database = ServerDatabase(values, value_bits=10)
+        client = ClientSession(
+            bits, key_bits=128, chunk_size=5,
+            rng=DeterministicRandom(repr(values)),
+        )
+        value = run_sessions_in_memory(client, ServerSession(database))
+        assert value == database.select_sum(bits)
+
+
+class TestOverRealSockets:
+    def test_socketpair_with_fragmented_reads(self, workload_bytes):
+        database, selection = workload_bytes
+        client = make_client(selection, chunk_size=9)
+        server = ServerSession(database)
+        a, b = socket.socketpair()
+        try:
+            for outgoing in client.initial_bytes():
+                a.sendall(outgoing)
+            a.shutdown(socket.SHUT_WR)
+            while not server.finished:
+                data = b.recv(251)  # odd size: frames split across reads
+                if not data:
+                    break
+                reply = server.receive_bytes(data)
+                if reply:
+                    b.sendall(reply)
+            while client.result is None:
+                client.receive_bytes(a.recv(11))
+        finally:
+            a.close()
+            b.close()
+        assert client.result == database.select_sum(selection)
+
+
+class TestValidationAndErrors:
+    def test_client_validates_inputs(self):
+        with pytest.raises(ProtocolError):
+            ClientSession([])
+        with pytest.raises(ProtocolError):
+            ClientSession([1, -1])
+        with pytest.raises(ProtocolError):
+            ClientSession([1], chunk_size=0)
+
+    def test_server_rejects_wrong_database_size(self, workload_bytes):
+        database, _ = workload_bytes
+        client = make_client([1, 0, 1])  # claims n=3; server has 60
+        server = ServerSession(database)
+        reply = server.receive_bytes(next(client.initial_bytes()))
+        decoder = codec.FrameDecoder()
+        decoder.feed(reply)
+        frame = next(decoder.frames())
+        assert frame.frame_type == FrameType.ERROR
+        with pytest.raises(ProtocolError):
+            client.receive_bytes(reply)
+
+    def test_server_rejects_tiny_keys(self):
+        database = ServerDatabase([2**32 - 1] * 10)
+        client = ClientSession(
+            [1] * 10, key_bits=32, rng=DeterministicRandom("tiny")
+        )
+        server = ServerSession(database)
+        reply = server.receive_bytes(next(client.initial_bytes()))
+        decoder = codec.FrameDecoder()
+        decoder.feed(reply)
+        assert next(decoder.frames()).frame_type == FrameType.ERROR
+
+    def test_server_rejects_out_of_range_ciphertext(self, workload_bytes):
+        database, selection = workload_bytes
+        client = make_client(selection)
+        server = ServerSession(database)
+        stream = list(client.initial_bytes())
+        server.receive_bytes(stream[0])  # hello
+        server.receive_bytes(stream[1])  # public key
+        # Forge a chunk with a zero "ciphertext" (not in Z*_{n^2}).
+        forged = codec.encode_ciphertext_chunk([0], 128)
+        reply = server.receive_bytes(forged)
+        decoder = codec.FrameDecoder()
+        decoder.feed(reply)
+        assert next(decoder.frames()).frame_type == FrameType.ERROR
+
+    def test_server_rejects_overdelivery(self):
+        database = ServerDatabase([5, 6])
+        client = ClientSession([1, 1], key_bits=128,
+                               rng=DeterministicRandom("over"))
+        server = ServerSession(database)
+        stream = list(client.initial_bytes())
+        for data in stream:
+            server.receive_bytes(data)
+        assert server.finished
+        extra = codec.encode_ciphertext_chunk([12345], 128)
+        reply = server.receive_bytes(extra)
+        decoder = codec.FrameDecoder()
+        decoder.feed(reply)
+        assert next(decoder.frames()).frame_type == FrameType.ERROR
+
+    def test_client_rejects_duplicate_result(self, workload_bytes):
+        database, selection = workload_bytes
+        client = make_client(selection)
+        server = ServerSession(database)
+        result_bytes = b""
+        for outgoing in client.initial_bytes():
+            reply = server.receive_bytes(outgoing)
+            if reply:
+                result_bytes = reply
+                client.receive_bytes(reply)
+        assert client.result is not None
+        with pytest.raises(ProtocolError):
+            client.receive_bytes(result_bytes)
+
+    def test_client_rejects_unexpected_frame(self, workload_bytes):
+        _, selection = workload_bytes
+        client = make_client(selection)
+        bogus = codec.encode_hello(128, 10, 5)
+        with pytest.raises(ProtocolError):
+            client.receive_bytes(bogus)

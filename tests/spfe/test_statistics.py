@@ -1,0 +1,195 @@
+"""Tests for the private statistics layer against numpy ground truth."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datastore.database import ServerDatabase
+from repro.datastore.workload import WorkloadGenerator
+from repro.exceptions import ParameterError
+from repro.spfe.combined import CombinedSelectedSumProtocol
+from repro.spfe.context import ExecutionContext
+from repro.spfe.statistics import (
+    PrivateStatisticsClient,
+    elementwise_product,
+)
+
+
+@pytest.fixture(scope="module")
+def stats_workload():
+    generator = WorkloadGenerator("stats")
+    database = generator.database(300, value_bits=16)
+    selection = generator.random_selection(300, 50)
+    return database, selection
+
+
+@pytest.fixture()
+def stats(ctx):
+    return PrivateStatisticsClient(ctx)
+
+
+def selected_array(database, selection):
+    values = np.array(database.values, dtype=float)
+    mask = np.array(selection, dtype=bool)
+    return values[mask]
+
+
+class TestSumAndMean:
+    def test_sum(self, stats, stats_workload):
+        database, selection = stats_workload
+        result = stats.sum(database, selection)
+        assert result.value == selected_array(database, selection).sum()
+        assert result.name == "sum"
+        assert len(result.runs) == 1
+
+    def test_mean(self, stats, stats_workload):
+        database, selection = stats_workload
+        result = stats.mean(database, selection)
+        assert result.value == pytest.approx(
+            selected_array(database, selection).mean()
+        )
+
+    def test_count_is_client_side(self, stats, stats_workload):
+        _, selection = stats_workload
+        assert stats.count(selection) == sum(selection)
+
+    def test_empty_selection_rejected(self, stats, stats_workload):
+        database, _ = stats_workload
+        with pytest.raises(ParameterError):
+            stats.mean(database, [0] * len(database))
+
+
+class TestVarianceFamily:
+    def test_population_variance(self, stats, stats_workload):
+        database, selection = stats_workload
+        result = stats.variance(database, selection)
+        expected = selected_array(database, selection).var()
+        assert result.value == pytest.approx(expected)
+        assert len(result.runs) == 2  # sum + squared sum
+
+    def test_sample_variance(self, stats, stats_workload):
+        database, selection = stats_workload
+        result = stats.variance(database, selection, ddof=1)
+        expected = selected_array(database, selection).var(ddof=1)
+        assert result.value == pytest.approx(expected)
+
+    def test_std(self, stats, stats_workload):
+        database, selection = stats_workload
+        result = stats.std(database, selection)
+        assert result.value == pytest.approx(
+            selected_array(database, selection).std()
+        )
+
+    def test_variance_single_element_ddof1_rejected(self, stats):
+        db = ServerDatabase([5, 6])
+        with pytest.raises(ParameterError):
+            stats.variance(db, [1, 0], ddof=1)
+
+    def test_zero_variance(self, stats):
+        db = ServerDatabase([7, 7, 7, 9])
+        result = stats.variance(db, [1, 1, 1, 0])
+        assert result.value == pytest.approx(0.0)
+        assert stats.std(db, [1, 1, 1, 0]).value == 0.0
+
+
+class TestWeighted:
+    def test_weighted_sum(self, stats):
+        db = ServerDatabase([10, 20, 30])
+        result = stats.weighted_sum(db, [1, 2, 3])
+        assert result.value == 10 + 40 + 90
+
+    def test_weighted_average(self, stats):
+        db = ServerDatabase([10, 20, 30])
+        result = stats.weighted_average(db, [1, 2, 3])
+        assert result.value == pytest.approx(140 / 6)
+
+    def test_zero_weights_rejected(self, stats):
+        db = ServerDatabase([1, 2])
+        with pytest.raises(ParameterError):
+            stats.weighted_average(db, [0, 0])
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.data())
+    def test_weighted_average_matches_numpy(self, data):
+        n = data.draw(st.integers(2, 40))
+        values = data.draw(st.lists(st.integers(0, 1000), min_size=n, max_size=n))
+        weights = data.draw(st.lists(st.integers(0, 9), min_size=n, max_size=n))
+        if sum(weights) == 0:
+            weights[0] = 1
+        db = ServerDatabase(values)
+        stats = PrivateStatisticsClient(ExecutionContext(rng=repr(values)))
+        result = stats.weighted_average(db, weights)
+        assert result.value == pytest.approx(
+            np.average(values, weights=weights)
+        )
+
+
+class TestCovariance:
+    def test_elementwise_product(self):
+        x = ServerDatabase([2, 3], value_bits=8)
+        y = ServerDatabase([5, 7], value_bits=8)
+        product = elementwise_product(x, y)
+        assert product.values == (10, 21)
+        assert product.value_bits == 16
+
+    def test_elementwise_product_validates(self):
+        from repro.exceptions import DatabaseError
+
+        with pytest.raises(DatabaseError):
+            elementwise_product(ServerDatabase([1]), ServerDatabase([1, 2]))
+
+    def test_covariance(self, stats):
+        generator = WorkloadGenerator("cov")
+        x = generator.database(100, value_bits=12)
+        y = generator.database(101, value_bits=12)
+        y = ServerDatabase(y.values[:100], value_bits=12)
+        selection = generator.random_selection(100, 30)
+        result = stats.covariance(x, y, selection)
+        mask = np.array(selection, dtype=bool)
+        xa = np.array(x.values, dtype=float)[mask]
+        ya = np.array(y.values, dtype=float)[mask]
+        expected = np.cov(xa, ya, ddof=0)[0][1]
+        assert result.value == pytest.approx(expected)
+        assert len(result.runs) == 3
+
+    def test_correlation_of_identical_columns(self, stats):
+        generator = WorkloadGenerator("corr")
+        x = generator.database(80, value_bits=12)
+        selection = generator.random_selection(80, 25)
+        result = stats.correlation(x, x, selection)
+        assert result.value == pytest.approx(1.0)
+
+    def test_correlation_zero_variance_rejected(self, stats):
+        from repro.exceptions import ProtocolError
+
+        x = ServerDatabase([5, 5, 5])
+        with pytest.raises(ProtocolError):
+            stats.correlation(x, x, [1, 1, 1])
+
+
+class TestComposition:
+    def test_aggregated_accounting(self, stats, stats_workload):
+        database, selection = stats_workload
+        result = stats.variance(database, selection)
+        total = result.total_breakdown
+        single = result.runs[0].breakdown
+        assert total.client_encrypt_s == pytest.approx(
+            2 * single.client_encrypt_s
+        )
+        assert result.makespan_s == pytest.approx(
+            sum(r.makespan_s for r in result.runs)
+        )
+        assert result.total_bytes == sum(r.total_bytes for r in result.runs)
+
+    def test_pluggable_protocol(self, stats_workload):
+        """Statistics run identically over the optimized pipeline."""
+        database, selection = stats_workload
+        ctx = ExecutionContext(rng="plug")
+        fast_stats = PrivateStatisticsClient(
+            ctx, protocol_factory=lambda c: CombinedSelectedSumProtocol(c)
+        )
+        plain_stats = PrivateStatisticsClient(ExecutionContext(rng="plug2"))
+        fast = fast_stats.mean(database, selection)
+        plain = plain_stats.mean(database, selection)
+        assert fast.value == pytest.approx(plain.value)
+        assert fast.runs[0].makespan_s < plain.runs[0].makespan_s

@@ -1,0 +1,123 @@
+"""Tests for the privacy/performance tradeoff protocol (§4 future work)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datastore.database import ServerDatabase
+from repro.datastore.workload import WorkloadGenerator
+from repro.exceptions import ParameterError
+from repro.spfe.context import ExecutionContext
+from repro.spfe.selected_sum import SelectedSumProtocol
+from repro.spfe.tradeoff import PartialPrivacySumProtocol
+
+
+class TestCorrectness:
+    def test_known_sum(self, ctx):
+        db = ServerDatabase([10, 20, 30, 40])
+        result = PartialPrivacySumProtocol(ctx, superset_factor=2.0).run(
+            db, [1, 0, 0, 1]
+        )
+        assert result.value == 50
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.data())
+    def test_random_workloads(self, data):
+        n = data.draw(st.integers(2, 60))
+        factor = data.draw(st.floats(1.0, 20.0))
+        values = data.draw(st.lists(st.integers(0, 999), min_size=n, max_size=n))
+        m = data.draw(st.integers(1, n))
+        generator = WorkloadGenerator(repr((n, m)))
+        bits = generator.random_selection(n, m)
+        db = ServerDatabase(values)
+        ctx = ExecutionContext(rng=repr((factor, values)))
+        result = PartialPrivacySumProtocol(ctx, superset_factor=factor).run(db, bits)
+        assert result.value == db.select_sum(bits)
+
+
+class TestValidation:
+    def test_factor_below_one_rejected(self, ctx):
+        with pytest.raises(ParameterError):
+            PartialPrivacySumProtocol(ctx, superset_factor=0.5)
+
+    def test_weights_rejected(self, ctx):
+        db = ServerDatabase([1, 2])
+        with pytest.raises(ParameterError):
+            PartialPrivacySumProtocol(ctx).run(db, [2, 1])
+
+    def test_empty_selection_rejected(self, ctx):
+        db = ServerDatabase([1, 2])
+        with pytest.raises(ParameterError):
+            PartialPrivacySumProtocol(ctx).run(db, [0, 0])
+
+
+class TestSupersetSemantics:
+    def test_superset_contains_selection(self, ctx, workload):
+        database, selection = workload
+        protocol = PartialPrivacySumProtocol(ctx, superset_factor=3.0)
+        superset = protocol.build_superset(len(database), selection)
+        true_indices = {i for i, w in enumerate(selection) if w}
+        assert true_indices <= set(superset)
+
+    def test_superset_size(self, ctx, workload):
+        database, selection = workload
+        m = sum(selection)
+        protocol = PartialPrivacySumProtocol(ctx, superset_factor=3.0)
+        superset = protocol.build_superset(len(database), selection)
+        assert len(superset) == min(len(database), 3 * m)
+
+    def test_factor_one_means_no_decoys(self, ctx, workload):
+        database, selection = workload
+        result = PartialPrivacySumProtocol(ctx, superset_factor=1.0).run(
+            database, selection
+        )
+        assert result.metadata["anonymity_ratio"] == pytest.approx(1.0)
+
+    def test_leak_declared(self, ctx, workload):
+        database, selection = workload
+        result = PartialPrivacySumProtocol(ctx).run(database, selection)
+        assert result.metadata["leaks"] == ["candidate-superset"]
+
+
+class TestTradeoffCurve:
+    def test_quantified_privacy_metrics(self, ctx, workload):
+        database, selection = workload
+        m = sum(selection)
+        result = PartialPrivacySumProtocol(ctx, superset_factor=4.0).run(
+            database, selection
+        )
+        s = result.metadata["superset_size"]
+        assert result.metadata["anonymity_ratio"] == pytest.approx(m / s)
+        assert result.metadata["candidate_fraction"] == pytest.approx(
+            s / len(database)
+        )
+
+    def test_runtime_scales_with_superset(self, workload):
+        database, selection = workload
+        small = PartialPrivacySumProtocol(
+            ExecutionContext(rng="t1"), superset_factor=2.0
+        ).run(database, selection)
+        large = PartialPrivacySumProtocol(
+            ExecutionContext(rng="t2"), superset_factor=8.0
+        ).run(database, selection)
+        assert small.makespan_s < large.makespan_s
+
+    def test_cheaper_than_full_privacy(self, workload):
+        database, selection = workload
+        partial = PartialPrivacySumProtocol(
+            ExecutionContext(rng="t3"), superset_factor=4.0
+        ).run(database, selection)
+        full = SelectedSumProtocol(ExecutionContext(rng="t4")).run(
+            database, selection
+        )
+        assert partial.makespan_s < full.makespan_s
+        assert partial.total_bytes < full.total_bytes
+
+    def test_degenerates_to_full_protocol_cost(self, workload):
+        """superset covering everything == full protocol's compute cost."""
+        database, selection = workload
+        n, m = len(database), sum(selection)
+        huge = PartialPrivacySumProtocol(
+            ExecutionContext(rng="t5"), superset_factor=n / m + 1
+        ).run(database, selection)
+        assert huge.metadata["superset_size"] == n
+        assert huge.metadata["candidate_fraction"] == 1.0

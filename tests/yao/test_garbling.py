@@ -1,0 +1,225 @@
+"""Tests for the garbling scheme: garbled evaluation == plaintext evaluation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.builder import EVALUATOR, GARBLER, CircuitBuilder, build_selected_sum_circuit
+from repro.circuits.circuit import Circuit, GateOp
+from repro.crypto.rng import DeterministicRandom
+from repro.exceptions import GarblingError
+from repro.yao.garbling import WireLabel, evaluate_garbled, garble
+
+
+def garbled_eval(circuit, assignments, seed="g"):
+    """Garble and evaluate with the active labels for ``assignments``."""
+    garbled = garble(circuit, DeterministicRandom(seed))
+    labels = {
+        wire: garbled.active_label(wire, bit) for wire, bit in assignments.items()
+    }
+    return evaluate_garbled(garbled, labels)
+
+
+class TestSingleGates:
+    @pytest.mark.parametrize("op", [GateOp.XOR, GateOp.AND, GateOp.OR])
+    def test_binary_gate_all_inputs(self, op):
+        for bit_a in (0, 1):
+            for bit_b in (0, 1):
+                circuit = Circuit()
+                a, b = circuit.new_input(GARBLER), circuit.new_input(EVALUATOR)
+                circuit.mark_outputs([circuit.add_gate(op, a, b)])
+                got = garbled_eval(circuit, {a: bit_a, b: bit_b})
+                assert got == circuit.evaluate({a: bit_a, b: bit_b})
+
+    def test_not_gate(self):
+        for bit in (0, 1):
+            circuit = Circuit()
+            a = circuit.new_input(GARBLER)
+            circuit.mark_outputs([circuit.add_gate(GateOp.NOT, a)])
+            assert garbled_eval(circuit, {a: bit}) == [1 - bit]
+
+    def test_chained_not_gates(self):
+        circuit = Circuit()
+        a = circuit.new_input(GARBLER)
+        w = a
+        for _ in range(5):
+            w = circuit.add_gate(GateOp.NOT, w)
+        circuit.mark_outputs([w])
+        assert garbled_eval(circuit, {a: 1}) == [0]
+
+    def test_constant_wires(self):
+        circuit = Circuit()
+        a = circuit.new_input(GARBLER)
+        out = circuit.add_gate(GateOp.AND, a, Circuit.CONST_ONE)
+        circuit.mark_outputs([out, Circuit.CONST_ZERO])
+        assert garbled_eval(circuit, {a: 1}) == [1, 0]
+
+
+class TestSecurityShape:
+    def test_wrong_label_fails_authentication(self):
+        circuit = Circuit()
+        a, b = circuit.new_input(GARBLER), circuit.new_input(EVALUATOR)
+        circuit.mark_outputs([circuit.add_gate(GateOp.AND, a, b)])
+        garbled = garble(circuit, DeterministicRandom("sec"))
+        bogus = WireLabel(b"\x42" * 16, 0)
+        with pytest.raises(GarblingError):
+            evaluate_garbled(
+                garbled, {a: bogus, b: garbled.active_label(b, 1)}
+            )
+
+    def test_missing_label_rejected(self):
+        circuit = Circuit()
+        a, b = circuit.new_input(GARBLER), circuit.new_input(EVALUATOR)
+        circuit.mark_outputs([circuit.add_gate(GateOp.AND, a, b)])
+        garbled = garble(circuit, DeterministicRandom("sec2"))
+        with pytest.raises(GarblingError):
+            evaluate_garbled(garbled, {a: garbled.active_label(a, 0)})
+
+    def test_labels_distinct_per_wire(self):
+        circuit = build_selected_sum_circuit(3, value_bits=4)
+        garbled = garble(circuit, DeterministicRandom("distinct"))
+        for zero, one in garbled.wire_labels.values():
+            assert zero.key != one.key
+            assert zero.permute != one.permute
+
+    def test_size_accounting(self):
+        circuit = build_selected_sum_circuit(3, value_bits=4)
+        garbled = garble(circuit, DeterministicRandom("size"))
+        non_free = circuit.gate_count - circuit.count_gates(GateOp.NOT)
+        assert garbled.size_bytes() >= non_free * 4 * 32
+
+    def test_label_validation(self):
+        with pytest.raises(GarblingError):
+            WireLabel(b"short", 0)
+        with pytest.raises(GarblingError):
+            WireLabel(b"\x00" * 16, 2)
+
+
+class TestAgainstPlaintextEvaluation:
+    @settings(max_examples=20, deadline=None)
+    @given(st.data())
+    def test_adder_circuits(self, data):
+        x = data.draw(st.integers(0, 63))
+        y = data.draw(st.integers(0, 63))
+        builder = CircuitBuilder()
+        a = builder.input_number(GARBLER, 7)
+        b = builder.input_number(EVALUATOR, 7)
+        circuit = builder.outputs(builder.ripple_add(a, b))
+        assignments = {}
+        for i, wire in enumerate(a):
+            assignments[wire] = (x >> i) & 1
+        for i, wire in enumerate(b):
+            assignments[wire] = (y >> i) & 1
+        bits = garbled_eval(circuit, assignments, seed=str((x, y)))
+        assert sum(bit << i for i, bit in enumerate(bits)) == x + y
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.data())
+    def test_selected_sum_circuits(self, data):
+        n = data.draw(st.integers(1, 5))
+        values = data.draw(st.lists(st.integers(0, 15), min_size=n, max_size=n))
+        bits = data.draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+        circuit = build_selected_sum_circuit(n, value_bits=4)
+        assignments = {}
+        for wire, bit in zip(circuit.inputs_of(EVALUATOR), bits):
+            assignments[wire] = bit
+        garbler_wires = circuit.inputs_of(GARBLER)
+        for i, value in enumerate(values):
+            for b in range(4):
+                assignments[garbler_wires[i * 4 + b]] = (value >> b) & 1
+        out = garbled_eval(circuit, assignments, seed=str((values, bits)))
+        got = sum(bit << i for i, bit in enumerate(out))
+        assert got == sum(v * s for v, s in zip(values, bits))
+
+
+class TestFreeXor:
+    """The free-XOR optimization: same outputs, fewer tables."""
+
+    @pytest.mark.parametrize("op", [GateOp.XOR, GateOp.AND, GateOp.OR])
+    def test_gates_still_correct(self, op):
+        for bit_a in (0, 1):
+            for bit_b in (0, 1):
+                circuit = Circuit()
+                a, b = circuit.new_input(GARBLER), circuit.new_input(EVALUATOR)
+                circuit.mark_outputs([circuit.add_gate(op, a, b)])
+                garbled = garble(
+                    circuit, DeterministicRandom("fx"), free_xor=True
+                )
+                labels = {
+                    a: garbled.active_label(a, bit_a),
+                    b: garbled.active_label(b, bit_b),
+                }
+                assert evaluate_garbled(garbled, labels) == [
+                    op.evaluate(bit_a, bit_b)
+                ]
+
+    def test_xor_gates_have_no_tables(self):
+        circuit = build_selected_sum_circuit(4, value_bits=6)
+        classic = garble(circuit, DeterministicRandom("c"))
+        free = garble(circuit, DeterministicRandom("f"), free_xor=True)
+        xor_count = circuit.count_gates(GateOp.XOR)
+        assert len(free.gates) == len(classic.gates) - xor_count
+        assert free.size_bytes() < classic.size_bytes()
+
+    def test_global_offset_invariant(self):
+        """Every wire-label pair differs by the same Δ."""
+        circuit = build_selected_sum_circuit(3, value_bits=4)
+        garbled = garble(circuit, DeterministicRandom("delta"), free_xor=True)
+        offsets = {
+            bytes(x ^ y for x, y in zip(zero.key, one.key))
+            for zero, one in garbled.wire_labels.values()
+        }
+        assert len(offsets) == 1
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.data())
+    def test_selected_sum_matches_classic(self, data):
+        n = data.draw(st.integers(1, 5))
+        values = data.draw(st.lists(st.integers(0, 15), min_size=n, max_size=n))
+        bits = data.draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+        circuit = build_selected_sum_circuit(n, value_bits=4)
+        assignments = {}
+        for wire, bit in zip(circuit.inputs_of(EVALUATOR), bits):
+            assignments[wire] = bit
+        garbler_wires = circuit.inputs_of(GARBLER)
+        for i, value in enumerate(values):
+            for b in range(4):
+                assignments[garbler_wires[i * 4 + b]] = (value >> b) & 1
+
+        def run(free_xor):
+            garbled = garble(
+                circuit, DeterministicRandom(repr((values, bits))),
+                free_xor=free_xor,
+            )
+            labels = {
+                w: garbled.active_label(w, bit)
+                for w, bit in assignments.items()
+            }
+            out = evaluate_garbled(garbled, labels)
+            return sum(bit << i for i, bit in enumerate(out))
+
+        expected = sum(v * s for v, s in zip(values, bits))
+        assert run(False) == run(True) == expected
+
+    def test_end_to_end_protocol_with_free_xor(self):
+        from repro.yao.protocol import YaoSelectedSum
+
+        runner = YaoSelectedSum(
+            value_bits=8, ot_key_bits=192,
+            rng=DeterministicRandom("fx-proto"), free_xor=True,
+        )
+        result = runner.run([10, 20, 30], [1, 0, 1])
+        assert result.value == 40
+
+    def test_free_xor_shrinks_protocol_bytes(self):
+        from repro.yao.protocol import YaoSelectedSum
+
+        def run(free_xor):
+            return YaoSelectedSum(
+                value_bits=8, ot_key_bits=192,
+                rng=DeterministicRandom("size"), free_xor=free_xor,
+            ).run([9] * 6, [1, 0, 1, 1, 0, 1])
+
+        classic = run(False)
+        free = run(True)
+        assert free.value == classic.value
+        assert free.garbled_bytes < 0.8 * classic.garbled_bytes
