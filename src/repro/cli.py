@@ -109,6 +109,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--queries", type=int, default=1, help="connections to serve before exiting"
     )
     serve_cmd.add_argument("--seed", default="cli")
+    serve_cmd.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-read deadline in seconds; a silent peer is dropped, not "
+        "waited on forever (0 disables)",
+    )
 
     query_cmd = commands.add_parser(
         "query", help="query a repro server over TCP"
@@ -121,6 +126,15 @@ def build_parser() -> argparse.ArgumentParser:
                            help="comma-separated indices")
     query_cmd.add_argument("--key-bits", type=int, default=512)
     query_cmd.add_argument("--chunk-size", type=int, default=64)
+    query_cmd.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="connect/read deadline in seconds (0 disables)",
+    )
+    query_cmd.add_argument(
+        "--retries", type=int, default=2,
+        help="reconnect attempts after a transport failure; reconnects "
+        "resume from the last acknowledged chunk",
+    )
 
     return parser
 
@@ -304,25 +318,34 @@ def cmd_keygen(args, out) -> int:
 def cmd_serve(args, out) -> int:
     import socket
 
-    from repro.spfe.session import ServerSession
+    from repro.exceptions import TransportError
+    from repro.net.transport import SocketTransport
+    from repro.spfe.session import (
+        ServerSession,
+        SessionRegistry,
+        serve_over_transport,
+    )
 
     database = _load_database(args)
     listener = socket.create_server((args.host, args.port))
     host, port = listener.getsockname()[:2]
-    out.write("serving %d rows on %s:%d (%d queries)\n"
-              % (len(database), host, port, args.queries))
+    timeout = args.timeout or None
+    out.write("serving %d rows on %s:%d (%d queries, %s read deadline)\n"
+              % (len(database), host, port, args.queries,
+                 "%.1fs" % timeout if timeout else "no"))
+    # One registry across connections: a client that reconnects resumes
+    # from its last acknowledged chunk instead of restarting.
+    registry = SessionRegistry()
     try:
         for _ in range(args.queries):
             connection, peer = listener.accept()
-            session = ServerSession(database)
-            with connection:
-                while not session.finished:
-                    data = connection.recv(4096)
-                    if not data:
-                        break
-                    reply = session.receive_bytes(data)
-                    if reply:
-                        connection.sendall(reply)
+            session = ServerSession(database, registry=registry)
+            with SocketTransport(connection, read_timeout=timeout) as transport:
+                try:
+                    serve_over_transport(session, transport)
+                except TransportError as exc:
+                    out.write("dropped %s: %s\n" % (peer, exc))
+                    continue
             out.write("served %s: %d bytes in, %d out\n"
                       % (peer, session.bytes_received, session.bytes_sent))
     finally:
@@ -331,26 +354,31 @@ def cmd_serve(args, out) -> int:
 
 
 def cmd_query(args, out) -> int:
-    import socket
-
-    from repro.spfe.session import ClientSession
+    from repro.net.transport import RetryPolicy, SocketTransport
+    from repro.spfe.session import ClientSession, run_resilient
 
     indices = [int(token) for token in args.select.split(",") if token.strip()]
     selection = indices_to_bits(args.n, indices)
     client = ClientSession(
         selection, key_bits=args.key_bits, chunk_size=args.chunk_size
     )
-    with socket.create_connection((args.host, args.port)) as connection:
-        for outgoing in client.initial_bytes():
-            connection.sendall(outgoing)
-        while client.result is None:
-            data = connection.recv(4096)
-            if not data:
-                raise ReproError("server closed the connection early")
-            client.receive_bytes(data)
+    timeout = args.timeout or None
+    if args.retries < 0:
+        raise ReproError("--retries must be non-negative")
+    policy = RetryPolicy(max_attempts=args.retries + 1)
+    run_resilient(
+        client,
+        lambda: SocketTransport.connect(
+            args.host, args.port,
+            connect_timeout=timeout, read_timeout=timeout,
+        ),
+        policy=policy,
+    )
     out.write("private sum of %d elements: %d\n" % (len(indices), client.result))
     out.write("bytes up/down: %d / %d\n"
               % (client.bytes_sent, client.bytes_received))
+    out.write("encryptions: %d (chunk frames sent: %d)\n"
+              % (client.encryptions, client.chunk_frames_sent))
     return 0
 
 

@@ -7,6 +7,28 @@ still being able to distinguish the broad failure classes below.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "CryptoError",
+    "KeyGenerationError",
+    "EncryptionError",
+    "DecryptionError",
+    "KeyMismatchError",
+    "ParameterError",
+    "ProtocolError",
+    "PrivacyViolationError",
+    "ChannelError",
+    "DatabaseError",
+    "CircuitError",
+    "OTError",
+    "GarblingError",
+    "CalibrationError",
+    "TransportError",
+    "TransportTimeout",
+    "RetryExhausted",
+    "SessionResumeError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""
@@ -66,3 +88,22 @@ class GarblingError(ReproError):
 
 class CalibrationError(ReproError):
     """Raised when a hardware profile cannot be fitted to measurements."""
+
+
+class TransportError(ReproError):
+    """Raised when a byte transport fails (connection refused, reset, ...)."""
+
+
+class TransportTimeout(TransportError):
+    """Raised when a transport operation exceeds its deadline."""
+
+
+class RetryExhausted(TransportError):
+    """Raised when a bounded retry policy gives up.
+
+    The last underlying failure is chained as ``__cause__``.
+    """
+
+
+class SessionResumeError(ProtocolError):
+    """Raised when a session cannot be resumed (wrong wire version, ...)."""

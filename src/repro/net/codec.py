@@ -1,35 +1,58 @@
 """Byte-level wire codec for the selected-sum protocol.
 
 Everything else in :mod:`repro.net` moves Python objects and *accounts*
-bytes; this module actually produces them.  It defines the frame format
+bytes; this module actually produces them.  It defines the frame formats
 and payload encodings that :mod:`repro.spfe.session` speaks, so the
 protocol can run over any byte stream (the tests drive it through real
 ``socket.socketpair()`` connections).
 
-Frame format (big-endian)::
+Two frame formats coexist on the wire; the decoder tells them apart by
+the first two bytes (a v1 frame's type field starts ``0x00 0x00``, a v2
+frame starts with the magic ``0x52 0x50``, "RP").
+
+v1 frame (big-endian, 8-byte header)::
 
     +------------+----------------+----------------------+
     | type (u32) | length (u32)   | payload (length B)   |
     +------------+----------------+----------------------+
 
-Eight bytes of header — exactly the ``FRAME_HEADER_BYTES`` the
-performance model charges per message, so modelled and real wire sizes
-agree (a property the tests check).
+v2 frame (big-endian, 16-byte header) — adds integrity and ordering::
+
+    +-------------+--------------+------------+-----------+
+    | magic (u16) | version (u8) | type (u8)  | seq (u32) |
+    +-------------+--------------+------------+-----------+
+    | length (u32)| crc32 (u32)  | payload (length B)     |
+    +-------------+--------------+------------------------+
+
+The CRC-32 covers the header (with the CRC field zeroed) plus the
+payload, so corruption of *any* header field or payload byte is caught
+before a ciphertext is touched.  ``seq`` is the absolute chunk index for
+``ENC_CHUNK`` frames (what makes sessions resumable) and 0 elsewhere.
+
+The 8-byte v1 header is exactly the ``FRAME_HEADER_BYTES`` the
+performance model charges per message, so modelled and v1 wire sizes
+agree (a property the tests check); v2 spends 8 further bytes per frame
+on resilience.
 
 Payload encodings:
 
 * HELLO — protocol version (u16), key bits (u16), database size (u32),
-  chunk element count (u32).
+  chunk element count (u32), then optionally a 16-byte session id (its
+  presence is what marks a session resumable).
 * PUBLIC_KEY — the Paillier modulus n, big-endian, key_bits/8 bytes.
 * ENC_CHUNK — ciphertext count (u32) then that many fixed-width
   ciphertexts (2 * key_bits / 8 bytes each).
 * RESULT — one fixed-width ciphertext.
 * ERROR — UTF-8 message.
+* RESUME — a 16-byte session id (client asks to continue that session).
+* ACK — next expected chunk index (u32); ``RESUME_UNKNOWN`` means the
+  server no longer knows the session and the client must restart.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
@@ -49,12 +72,29 @@ __all__ = [
     "decode_ciphertext_chunk",
     "encode_result",
     "decode_result",
+    "encode_resume",
+    "decode_resume",
+    "encode_ack",
+    "decode_ack",
     "PROTOCOL_VERSION",
+    "WIRE_MAGIC",
+    "WIRE_VERSION_1",
+    "WIRE_VERSION_2",
+    "SESSION_ID_BYTES",
+    "RESUME_UNKNOWN",
 ]
 
 PROTOCOL_VERSION = 1
 
+WIRE_MAGIC = 0x5250  # "RP"; a v1 type field can never start with these bytes
+WIRE_VERSION_1 = 1
+WIRE_VERSION_2 = 2
+
+SESSION_ID_BYTES = 16
+RESUME_UNKNOWN = 0xFFFFFFFF
+
 _HEADER = struct.Struct(">II")
+_HEADER_V2 = struct.Struct(">HBBIII")  # magic, version, type, seq, length, crc
 _HELLO = struct.Struct(">HHII")
 _COUNT = struct.Struct(">I")
 
@@ -67,27 +107,56 @@ class FrameType:
     ENC_CHUNK = 3
     RESULT = 4
     ERROR = 5
+    RESUME = 6
+    ACK = 7
 
-    _KNOWN = frozenset((HELLO, PUBLIC_KEY, ENC_CHUNK, RESULT, ERROR))
+    _KNOWN = frozenset((HELLO, PUBLIC_KEY, ENC_CHUNK, RESULT, ERROR, RESUME, ACK))
 
 
 @dataclass(frozen=True)
 class Frame:
-    """One decoded frame."""
+    """One decoded frame (``sequence``/``version`` are v2 metadata)."""
 
     frame_type: int
     payload: bytes
+    sequence: int = 0
+    version: int = WIRE_VERSION_1
 
     @property
     def wire_bytes(self) -> int:
-        return _HEADER.size + len(self.payload)
+        """Size of the frame as encoded, header included."""
+        header = _HEADER.size if self.version == WIRE_VERSION_1 else _HEADER_V2.size
+        return header + len(self.payload)
 
 
-def encode_frame(frame_type: int, payload: bytes) -> bytes:
-    """Wrap a payload in the 8-byte type+length header."""
+def _crc_v2(frame_type: int, sequence: int, length: int, payload: bytes) -> int:
+    header = _HEADER_V2.pack(
+        WIRE_MAGIC, WIRE_VERSION_2, frame_type, sequence, length, 0
+    )
+    return zlib.crc32(payload, zlib.crc32(header)) & 0xFFFFFFFF
+
+
+def encode_frame(
+    frame_type: int, payload: bytes, sequence: Optional[int] = None
+) -> bytes:
+    """Encode one frame.
+
+    ``sequence=None`` produces the legacy v1 frame (8-byte header, no
+    integrity); an integer sequence produces a v2 frame with CRC-32.
+    """
     if frame_type not in FrameType._KNOWN:
         raise ProtocolError("unknown frame type %d" % frame_type)
-    return _HEADER.pack(frame_type, len(payload)) + payload
+    if sequence is None:
+        return _HEADER.pack(frame_type, len(payload)) + payload
+    if not 0 <= sequence <= 0xFFFFFFFF:
+        raise ProtocolError("sequence %d out of u32 range" % sequence)
+    crc = _crc_v2(frame_type, sequence, len(payload), payload)
+    return (
+        _HEADER_V2.pack(
+            WIRE_MAGIC, WIRE_VERSION_2, frame_type, sequence, len(payload), crc
+        )
+        + payload
+    )
 
 
 class FrameDecoder:
@@ -95,7 +164,11 @@ class FrameDecoder:
 
     Feed arbitrary chunks with :meth:`feed`; complete frames come out of
     :meth:`frames`.  Handles frames split across reads and multiple
-    frames per read — the realities of a TCP stream.
+    frames per read — the realities of a TCP stream — and accepts v1 and
+    v2 frames interleaved on the same stream, so a v2 server remains
+    compatible with v1 peers.  Corruption (bad magic, bad type, absurd
+    length, CRC mismatch) raises :class:`~repro.exceptions.ProtocolError`
+    and never yields a damaged frame.
     """
 
     MAX_PAYLOAD = 64 * 1024 * 1024  # sanity cap against corrupt lengths
@@ -110,18 +183,51 @@ class FrameDecoder:
     def frames(self) -> Iterator[Frame]:
         """Yield every complete frame currently buffered."""
         while True:
-            if len(self._buffer) < _HEADER.size:
+            if len(self._buffer) < 2:
                 return
-            frame_type, length = _HEADER.unpack_from(self._buffer, 0)
-            if frame_type not in FrameType._KNOWN:
-                raise ProtocolError("corrupt stream: frame type %d" % frame_type)
-            if length > self.MAX_PAYLOAD:
-                raise ProtocolError("corrupt stream: %d-byte payload" % length)
-            if len(self._buffer) < _HEADER.size + length:
+            if self._buffer[0] == 0x52 and self._buffer[1] == 0x50:
+                frame = self._next_v2()
+            else:
+                frame = self._next_v1()
+            if frame is None:
                 return
-            payload = bytes(self._buffer[_HEADER.size : _HEADER.size + length])
-            del self._buffer[: _HEADER.size + length]
-            yield Frame(frame_type, payload)
+            yield frame
+
+    def _next_v1(self) -> Optional[Frame]:
+        if len(self._buffer) < _HEADER.size:
+            return None
+        frame_type, length = _HEADER.unpack_from(self._buffer, 0)
+        if frame_type not in FrameType._KNOWN:
+            raise ProtocolError("corrupt stream: frame type %d" % frame_type)
+        if length > self.MAX_PAYLOAD:
+            raise ProtocolError("corrupt stream: %d-byte payload" % length)
+        if len(self._buffer) < _HEADER.size + length:
+            return None
+        payload = bytes(self._buffer[_HEADER.size : _HEADER.size + length])
+        del self._buffer[: _HEADER.size + length]
+        return Frame(frame_type, payload)
+
+    def _next_v2(self) -> Optional[Frame]:
+        if len(self._buffer) < _HEADER_V2.size:
+            return None
+        _, version, frame_type, sequence, length, crc = _HEADER_V2.unpack_from(
+            self._buffer, 0
+        )
+        if version != WIRE_VERSION_2:
+            raise ProtocolError("corrupt stream: wire version %d" % version)
+        if frame_type not in FrameType._KNOWN:
+            raise ProtocolError("corrupt stream: frame type %d" % frame_type)
+        if length > self.MAX_PAYLOAD:
+            raise ProtocolError("corrupt stream: %d-byte payload" % length)
+        if len(self._buffer) < _HEADER_V2.size + length:
+            return None
+        payload = bytes(self._buffer[_HEADER_V2.size : _HEADER_V2.size + length])
+        if crc != _crc_v2(frame_type, sequence, length, payload):
+            raise ProtocolError(
+                "corrupt stream: CRC mismatch on frame seq %d" % sequence
+            )
+        del self._buffer[: _HEADER_V2.size + length]
+        return Frame(frame_type, payload, sequence=sequence, version=WIRE_VERSION_2)
 
     def pending_bytes(self) -> int:
         """Bytes buffered that do not yet form a complete frame."""
@@ -131,33 +237,51 @@ class FrameDecoder:
 # -- payload codecs -----------------------------------------------------------
 
 
-def encode_hello(key_bits: int, database_size: int, chunk_size: int) -> bytes:
-    """Encode the HELLO frame (version, key bits, db size, chunk)."""
+def encode_hello(
+    key_bits: int,
+    database_size: int,
+    chunk_size: int,
+    session_id: Optional[bytes] = None,
+    sequence: Optional[int] = None,
+) -> bytes:
+    """Encode the HELLO frame (version, key bits, db size, chunk[, sid])."""
     payload = _HELLO.pack(PROTOCOL_VERSION, key_bits, database_size, chunk_size)
-    return encode_frame(FrameType.HELLO, payload)
+    if session_id is not None:
+        if len(session_id) != SESSION_ID_BYTES:
+            raise ProtocolError(
+                "session id must be %d bytes, got %d"
+                % (SESSION_ID_BYTES, len(session_id))
+            )
+        payload += session_id
+    return encode_frame(FrameType.HELLO, payload, sequence)
 
 
-def decode_hello(payload: bytes) -> Tuple[int, int, int]:
-    """Returns (key_bits, database_size, chunk_size); checks the version."""
-    if len(payload) != _HELLO.size:
+def decode_hello(payload: bytes) -> Tuple[int, int, int, Optional[bytes]]:
+    """Returns (key_bits, database_size, chunk_size, session_id-or-None)."""
+    if len(payload) not in (_HELLO.size, _HELLO.size + SESSION_ID_BYTES):
         raise ProtocolError("malformed HELLO payload")
-    version, key_bits, database_size, chunk_size = _HELLO.unpack(payload)
+    version, key_bits, database_size, chunk_size = _HELLO.unpack_from(payload, 0)
     if version != PROTOCOL_VERSION:
         raise ProtocolError(
             "protocol version mismatch: got %d, speak %d"
             % (version, PROTOCOL_VERSION)
         )
-    return key_bits, database_size, chunk_size
+    session_id = payload[_HELLO.size :] or None
+    return key_bits, database_size, chunk_size, session_id
 
 
 def _ciphertext_width(key_bits: int) -> int:
     return bytes_for_bits(2 * key_bits)
 
 
-def encode_public_key(n: int, key_bits: int) -> bytes:
+def encode_public_key(
+    n: int, key_bits: int, sequence: Optional[int] = None
+) -> bytes:
     """Encode the public-key frame (n, big-endian)."""
     return encode_frame(
-        FrameType.PUBLIC_KEY, n.to_bytes(bytes_for_bits(key_bits), "big")
+        FrameType.PUBLIC_KEY,
+        n.to_bytes(bytes_for_bits(key_bits), "big"),
+        sequence,
     )
 
 
@@ -168,13 +292,19 @@ def decode_public_key(payload: bytes) -> int:
     return int.from_bytes(payload, "big")
 
 
-def encode_ciphertext_chunk(ciphertexts: List[int], key_bits: int) -> bytes:
-    """Encode a counted chunk of fixed-width ciphertexts."""
+def encode_ciphertext_chunk(
+    ciphertexts: List[int], key_bits: int, sequence: Optional[int] = None
+) -> bytes:
+    """Encode a counted chunk of fixed-width ciphertexts.
+
+    For v2 frames ``sequence`` must be the absolute chunk index — it is
+    what lets a resumed session deduplicate and order chunks.
+    """
     width = _ciphertext_width(key_bits)
     parts = [_COUNT.pack(len(ciphertexts))]
     for ct in ciphertexts:
         parts.append(ct.to_bytes(width, "big"))
-    return encode_frame(FrameType.ENC_CHUNK, b"".join(parts))
+    return encode_frame(FrameType.ENC_CHUNK, b"".join(parts), sequence)
 
 
 def decode_ciphertext_chunk(payload: bytes, key_bits: int) -> List[int]:
@@ -194,10 +324,14 @@ def decode_ciphertext_chunk(payload: bytes, key_bits: int) -> List[int]:
     ]
 
 
-def encode_result(ciphertext: int, key_bits: int) -> bytes:
+def encode_result(
+    ciphertext: int, key_bits: int, sequence: Optional[int] = None
+) -> bytes:
     """Encode the single-ciphertext RESULT frame."""
     width = _ciphertext_width(key_bits)
-    return encode_frame(FrameType.RESULT, ciphertext.to_bytes(width, "big"))
+    return encode_frame(
+        FrameType.RESULT, ciphertext.to_bytes(width, "big"), sequence
+    )
 
 
 def decode_result(payload: bytes, key_bits: int) -> int:
@@ -206,3 +340,34 @@ def decode_result(payload: bytes, key_bits: int) -> int:
     if len(payload) != width:
         raise ProtocolError("result payload has wrong width")
     return int.from_bytes(payload, "big")
+
+
+def encode_resume(session_id: bytes, sequence: Optional[int] = 0) -> bytes:
+    """Encode the RESUME request (always a v2 frame)."""
+    if len(session_id) != SESSION_ID_BYTES:
+        raise ProtocolError(
+            "session id must be %d bytes, got %d"
+            % (SESSION_ID_BYTES, len(session_id))
+        )
+    return encode_frame(FrameType.RESUME, session_id, sequence)
+
+
+def decode_resume(payload: bytes) -> bytes:
+    """Parse a RESUME payload back to the session id."""
+    if len(payload) != SESSION_ID_BYTES:
+        raise ProtocolError("malformed RESUME payload")
+    return payload
+
+
+def encode_ack(next_chunk: int, sequence: Optional[int] = 0) -> bytes:
+    """Encode the ACK frame carrying the next expected chunk index."""
+    if not 0 <= next_chunk <= RESUME_UNKNOWN:
+        raise ProtocolError("ack chunk index %d out of range" % next_chunk)
+    return encode_frame(FrameType.ACK, _COUNT.pack(next_chunk), sequence)
+
+
+def decode_ack(payload: bytes) -> int:
+    """Parse an ACK payload back to the next expected chunk index."""
+    if len(payload) != _COUNT.size:
+        raise ProtocolError("malformed ACK payload")
+    return _COUNT.unpack(payload)[0]

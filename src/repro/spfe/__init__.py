@@ -35,7 +35,15 @@ from repro.spfe.privacy import (
 )
 from repro.spfe.result import SumRunResult
 from repro.spfe.selected_sum import SelectedSumProtocol, private_selected_sum
-from repro.spfe.session import ClientSession, ServerSession, run_sessions_in_memory
+from repro.spfe.session import (
+    ClientSession,
+    ServerSession,
+    SessionRegistry,
+    run_over_transport,
+    run_resilient,
+    run_sessions_in_memory,
+    serve_over_transport,
+)
 from repro.spfe.statistics import (
     PrivateStatisticsClient,
     StatisticResult,
@@ -72,6 +80,7 @@ __all__ = [
     "SelectedSumBase",
     "SelectedSumProtocol",
     "ServerSession",
+    "SessionRegistry",
     "SquareRootPIRProtocol",
     "StatisticResult",
     "SumRunResult",
@@ -82,5 +91,8 @@ __all__ = [
     "elementwise_product",
     "group_means",
     "private_selected_sum",
+    "run_over_transport",
+    "run_resilient",
     "run_sessions_in_memory",
+    "serve_over_transport",
 ]

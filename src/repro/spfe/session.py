@@ -4,7 +4,8 @@ The protocol engines in this package (:mod:`repro.spfe.selected_sum`
 and friends) run both parties in one process with modelled or measured
 timing — ideal for experiments.  This module is the *deployment* shape:
 two independent state machines that exchange nothing but bytes, so the
-same protocol runs over a real socket, a pipe, or any transport.
+same protocol runs over a real socket, a pipe, or any
+:class:`~repro.net.transport.Transport`.
 
 * :class:`ServerSession` holds the database.  Feed it received bytes
   via :meth:`receive_bytes`; it returns the bytes to send back (empty
@@ -14,9 +15,23 @@ same protocol runs over a real socket, a pipe, or any transport.
   public key, encrypted chunks); :meth:`receive_bytes` consumes the
   server's reply and exposes :attr:`result`.
 
+Resilience (wire v2, the default): every frame carries a CRC and chunk
+frames carry their absolute index, and sessions are *resumable*.  The
+client advertises a random 16-byte session id in its HELLO; the server
+tracks the last contiguously received chunk per session id in a
+:class:`SessionRegistry`.  After a disconnect the client reconnects,
+sends RESUME, and the server answers ACK with the next chunk index it
+expects — the client then re-sends only the missing chunks from its
+cache instead of re-encrypting the whole vector (client-side Paillier
+encryption dominates the protocol's cost, paper §3).  If the server has
+evicted the session the ACK says so and the client restarts cleanly.
+:func:`run_resilient` packages the whole reconnect-and-resume loop
+behind a retry policy.
+
 The tests drive a pair of sessions through ``socket.socketpair()`` —
 real kernel buffers, real partial reads — and assert the sum is correct
-and that the server-side transcript contains only ciphertexts.
+and that the server-side transcript contains only ciphertexts; the
+chaos suite replays seeded fault plans against the same pair.
 
 Only the real Paillier scheme makes sense here (bytes are bytes), so
 sessions are fixed to :class:`~repro.crypto.paillier.PaillierScheme`.
@@ -24,20 +39,39 @@ sessions are fixed to :class:`~repro.crypto.paillier.PaillierScheme`.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.crypto.paillier import (
     PaillierPrivateKey,
     PaillierPublicKey,
     generate_keypair,
 )
+from repro.crypto.scheme import SchemeKeyPair
 from repro.crypto.rng import RandomSource, as_random_source
 from repro.datastore.database import ServerDatabase
-from repro.exceptions import ProtocolError
+from repro.exceptions import (
+    ParameterError,
+    ProtocolError,
+    RetryExhausted,
+    SessionResumeError,
+    TransportError,
+)
 from repro.net import codec
 from repro.net.codec import Frame, FrameDecoder, FrameType
+from repro.net.transport import DEFAULT_RECV_BYTES, RetryPolicy, Transport
 
-__all__ = ["ClientSession", "ServerSession", "run_sessions_in_memory"]
+__all__ = [
+    "ClientSession",
+    "ServerSession",
+    "SessionRegistry",
+    "run_sessions_in_memory",
+    "run_over_transport",
+    "run_resilient",
+    "serve_over_transport",
+    "DEFAULT_CHUNK",
+]
 
 DEFAULT_CHUNK = 64
 
@@ -51,6 +85,8 @@ class ClientSession:
         key_bits: int = 512,
         chunk_size: int = DEFAULT_CHUNK,
         rng: Optional[RandomSource] = None,
+        wire_version: int = codec.WIRE_VERSION_2,
+        keypair: Optional[SchemeKeyPair] = None,
     ) -> None:
         if not selection:
             raise ProtocolError("selection must be non-empty")
@@ -58,44 +94,133 @@ class ClientSession:
             raise ProtocolError("selection weights must be non-negative")
         if chunk_size < 1:
             raise ProtocolError("chunk size must be positive")
+        if wire_version not in (codec.WIRE_VERSION_1, codec.WIRE_VERSION_2):
+            raise ProtocolError("unsupported wire version %d" % wire_version)
         self.selection = list(selection)
         self.key_bits = key_bits
         self.chunk_size = chunk_size
+        self.wire_version = wire_version
         self._rng = as_random_source(rng)
-        keypair = generate_keypair(key_bits, self._rng)
+        keypair = keypair or generate_keypair(key_bits, self._rng)
         self.public_key: PaillierPublicKey = keypair.public
         self._private_key: PaillierPrivateKey = keypair.private
+        #: 16-byte resumable-session identifier (None on legacy v1 wire)
+        self.session_id: Optional[bytes] = (
+            self._rng.randbytes(codec.SESSION_ID_BYTES)
+            if wire_version == codec.WIRE_VERSION_2
+            else None
+        )
         self._decoder = FrameDecoder()
+        self._encoded_chunks: Dict[int, bytes] = {}
+        self._ack: Optional[int] = None
+        self._awaiting_ack = False
         self.result: Optional[int] = None
         self.bytes_sent = 0
         self.bytes_received = 0
+        #: Paillier encryptions performed — the resume machinery exists
+        #: precisely so this never exceeds len(selection)
+        self.encryptions = 0
+        #: chunk frames handed to the transport, re-sends included
+        self.chunk_frames_sent = 0
 
     # -- outgoing ---------------------------------------------------------
+
+    @property
+    def total_chunks(self) -> int:
+        """Number of chunk frames the full selection occupies."""
+        return (len(self.selection) + self.chunk_size - 1) // self.chunk_size
+
+    def _sequence(self, value: int) -> Optional[int]:
+        return value if self.wire_version == codec.WIRE_VERSION_2 else None
+
+    def _chunk_frame(self, index: int) -> bytes:
+        """Encode chunk ``index``, encrypting at most once per chunk."""
+        cached = self._encoded_chunks.get(index)
+        if cached is None:
+            start = index * self.chunk_size
+            chunk = self.selection[start : start + self.chunk_size]
+            ciphertexts = [
+                self.public_key.encrypt_raw(w, self._rng) for w in chunk
+            ]
+            self.encryptions += len(chunk)
+            cached = codec.encode_ciphertext_chunk(
+                ciphertexts, self.key_bits, self._sequence(index)
+            )
+            self._encoded_chunks[index] = cached
+        return cached
+
+    def _chunk_frames_from(self, start: int) -> Iterator[bytes]:
+        for index in range(start, self.total_chunks):
+            data = self._chunk_frame(index)
+            self.bytes_sent += len(data)
+            self.chunk_frames_sent += 1
+            yield data
 
     def initial_bytes(self) -> Iterator[bytes]:
         """The client's whole outgoing stream, chunk by chunk.
 
         Yields separately so a caller can interleave with socket writes
         (and so the server genuinely streams — it never needs the whole
-        vector in memory at once, the §3.2 point).
+        vector in memory at once, the §3.2 point).  Chunks are encrypted
+        lazily and cached, so an interrupted stream has paid only for
+        the chunks it actually produced.
         """
         hello = codec.encode_hello(
-            self.key_bits, len(self.selection), self.chunk_size
+            self.key_bits,
+            len(self.selection),
+            self.chunk_size,
+            self.session_id,
+            self._sequence(0),
         )
         self.bytes_sent += len(hello)
         yield hello
 
-        pk = codec.encode_public_key(self.public_key.n, self.key_bits)
+        pk = codec.encode_public_key(
+            self.public_key.n, self.key_bits, self._sequence(0)
+        )
         self.bytes_sent += len(pk)
         yield pk
 
-        for start in range(0, len(self.selection), self.chunk_size):
-            chunk = self.selection[start : start + self.chunk_size]
-            ciphertexts = [
-                self.public_key.encrypt_raw(w, self._rng) for w in chunk
-            ]
-            data = codec.encode_ciphertext_chunk(ciphertexts, self.key_bits)
-            self.bytes_sent += len(data)
+        for data in self._chunk_frames_from(0):
+            yield data
+
+    # -- resumption ---------------------------------------------------------
+
+    def resume_request(self) -> bytes:
+        """The RESUME frame to send on a fresh connection."""
+        if self.session_id is None:
+            raise SessionResumeError("legacy v1 sessions cannot resume")
+        self._ack = None
+        self._awaiting_ack = True
+        data = codec.encode_resume(self.session_id)
+        self.bytes_sent += len(data)
+        return data
+
+    @property
+    def resume_ready(self) -> bool:
+        """True once the server's ACK has been received."""
+        return self._ack is not None
+
+    def resume_bytes(self) -> Iterator[bytes]:
+        """The stream to send after an ACK: only what the server lacks.
+
+        Cached chunks are re-sent as bytes — no re-encryption.  If the
+        server no longer knows the session, this degrades to the full
+        :meth:`initial_bytes` stream (still reusing cached chunks).
+        """
+        if self._ack is None:
+            raise SessionResumeError("no ACK received; send resume_request first")
+        ack = self._ack
+        self._ack = None
+        if ack == codec.RESUME_UNKNOWN:
+            for data in self.initial_bytes():
+                yield data
+            return
+        if ack > self.total_chunks:
+            raise ProtocolError(
+                "server acknowledged chunk %d of %d" % (ack, self.total_chunks)
+            )
+        for data in self._chunk_frames_from(ack):
             yield data
 
     # -- incoming -----------------------------------------------------------
@@ -112,6 +237,12 @@ class ClientSession:
             raise ProtocolError(
                 "server error: %s" % frame.payload.decode("utf-8", "replace")
             )
+        if frame.frame_type == FrameType.ACK:
+            if not self._awaiting_ack:
+                raise ProtocolError("unsolicited ACK from server")
+            self._awaiting_ack = False
+            self._ack = codec.decode_ack(frame.payload)
+            return
         if frame.frame_type != FrameType.RESULT:
             raise ProtocolError(
                 "client expected RESULT, got frame type %d" % frame.frame_type
@@ -122,16 +253,93 @@ class ClientSession:
         self.result = self._private_key.raw_decrypt(ciphertext)
 
 
+class _ResumeState:
+    """Everything the server must keep to resume one session."""
+
+    __slots__ = (
+        "key_bits",
+        "chunk_size",
+        "public_key",
+        "aggregate",
+        "received",
+        "chunks_received",
+        "done",
+    )
+
+    def __init__(self, key_bits: int, chunk_size: int, public_key: PaillierPublicKey) -> None:
+        self.key_bits = key_bits
+        self.chunk_size = chunk_size
+        self.public_key = public_key
+        self.aggregate = 1
+        self.received = 0
+        self.chunks_received = 0
+        self.done = False
+
+
+class SessionRegistry:
+    """Server-side store of resumable sessions, LRU-bounded.
+
+    One registry serves one database; share it across connections so a
+    reconnecting client finds its half-finished session.  ``capacity``
+    bounds memory: least-recently-touched sessions are evicted, and an
+    evicted session simply restarts from scratch (the ACK tells the
+    client so) — resumption is an optimisation, never a correctness
+    requirement.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ParameterError("registry capacity must be positive")
+        self.capacity = capacity
+        self._states: "OrderedDict[bytes, _ResumeState]" = OrderedDict()
+        self.evictions = 0
+
+    def save(self, session_id: bytes, state: _ResumeState) -> None:
+        """Insert or refresh a session, evicting the LRU beyond capacity."""
+        self._states[session_id] = state
+        self._states.move_to_end(session_id)
+        while len(self._states) > self.capacity:
+            self._states.popitem(last=False)
+            self.evictions += 1
+
+    def get(self, session_id: bytes) -> Optional[_ResumeState]:
+        """Look up (and LRU-touch) a session; None when unknown/evicted."""
+        state = self._states.get(session_id)
+        if state is not None:
+            self._states.move_to_end(session_id)
+        return state
+
+    def discard(self, session_id: bytes) -> None:
+        """Forget a session if present."""
+        self._states.pop(session_id, None)
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __contains__(self, session_id: bytes) -> bool:
+        return session_id in self._states
+
+
 class ServerSession:
-    """The database side, as a byte-stream state machine."""
+    """The database side, as a byte-stream state machine.
+
+    Pass a shared :class:`SessionRegistry` to make sessions resumable
+    across connections; without one the server still speaks v1 and v2
+    wire but answers every RESUME with "unknown, restart".
+    """
 
     _WAIT_HELLO = "wait-hello"
     _WAIT_KEY = "wait-key"
     _RECEIVING = "receiving"
     _DONE = "done"
 
-    def __init__(self, database: ServerDatabase) -> None:
+    def __init__(
+        self,
+        database: ServerDatabase,
+        registry: Optional[SessionRegistry] = None,
+    ) -> None:
         self.database = database
+        self.registry = registry
         self._decoder = FrameDecoder()
         self._state = self._WAIT_HELLO
         self._key_bits = 0
@@ -139,8 +347,16 @@ class ServerSession:
         self._public_key: Optional[PaillierPublicKey] = None
         self._aggregate = 1
         self._received = 0
+        self._chunks_received = 0
+        self._session_id: Optional[bytes] = None
+        self._resume_state: Optional[_ResumeState] = None
+        self._peer_wire_version = codec.WIRE_VERSION_1
         self.bytes_received = 0
         self.bytes_sent = 0
+        #: True once a protocol violation has been answered with ERROR
+        self.errored = False
+        #: chunk frames folded into the aggregate (duplicates excluded)
+        self.chunk_frames_processed = 0
         #: every ciphertext seen, for transcript audits in tests
         self.ciphertext_log: List[int] = []
 
@@ -151,9 +367,13 @@ class ServerSession:
         try:
             self._decoder.feed(data)
             for frame in self._decoder.frames():
+                self._peer_wire_version = frame.version
                 out.extend(self._handle(frame))
         except ProtocolError as exc:
-            error = codec.encode_frame(FrameType.ERROR, str(exc).encode("utf-8"))
+            self.errored = True
+            error = codec.encode_frame(
+                FrameType.ERROR, str(exc).encode("utf-8"), self._reply_sequence()
+            )
             self.bytes_sent += len(error)
             return bytes(error)
         self.bytes_sent += len(out)
@@ -161,11 +381,17 @@ class ServerSession:
 
     @property
     def finished(self) -> bool:
+        """True once the result has been produced."""
         return self._state == self._DONE
+
+    def _reply_sequence(self) -> Optional[int]:
+        return 0 if self._peer_wire_version == codec.WIRE_VERSION_2 else None
 
     # -- state machine ---------------------------------------------------------
 
     def _handle(self, frame: Frame) -> bytes:
+        if frame.frame_type == FrameType.RESUME:
+            return self._on_resume(frame)
         if self._state == self._WAIT_HELLO:
             return self._on_hello(frame)
         if self._state == self._WAIT_KEY:
@@ -177,7 +403,9 @@ class ServerSession:
     def _on_hello(self, frame: Frame) -> bytes:
         if frame.frame_type != FrameType.HELLO:
             raise ProtocolError("expected HELLO first")
-        key_bits, database_size, chunk_size = codec.decode_hello(frame.payload)
+        key_bits, database_size, chunk_size, session_id = codec.decode_hello(
+            frame.payload
+        )
         if database_size != len(self.database):
             raise ProtocolError(
                 "client assumes %d elements; this database has %d"
@@ -188,6 +416,7 @@ class ServerSession:
             raise ProtocolError("key too small for the worst-case sum")
         self._key_bits = key_bits
         self._chunk_size = chunk_size
+        self._session_id = session_id
         self._state = self._WAIT_KEY
         return b""
 
@@ -199,12 +428,55 @@ class ServerSession:
             raise ProtocolError("public key larger than announced")
         self._public_key = PaillierPublicKey(n)
         self._state = self._RECEIVING
+        if self.registry is not None and self._session_id is not None:
+            # Only register once the key is known: a pre-key session has
+            # nothing worth resuming, so RESUME answers "restart".
+            self._resume_state = _ResumeState(
+                self._key_bits, self._chunk_size, self._public_key
+            )
+            self.registry.save(self._session_id, self._resume_state)
         return b""
+
+    def _on_resume(self, frame: Frame) -> bytes:
+        if self._state != self._WAIT_HELLO:
+            raise ProtocolError("RESUME must be the first frame of a connection")
+        session_id = codec.decode_resume(frame.payload)
+        state = self.registry.get(session_id) if self.registry is not None else None
+        if state is None:
+            # Unknown or evicted: tell the client to start over.
+            return codec.encode_ack(codec.RESUME_UNKNOWN, self._reply_sequence())
+        self._session_id = session_id
+        self._resume_state = state
+        self._key_bits = state.key_bits
+        self._chunk_size = state.chunk_size
+        self._public_key = state.public_key
+        self._aggregate = state.aggregate
+        self._received = state.received
+        self._chunks_received = state.chunks_received
+        reply = codec.encode_ack(state.chunks_received, self._reply_sequence())
+        if state.done:
+            # The previous connection died between computing the result
+            # and the client receiving it: re-send the result directly.
+            self._state = self._DONE
+            reply += codec.encode_result(
+                self._aggregate, self._key_bits, self._reply_sequence()
+            )
+        else:
+            self._state = self._RECEIVING
+        return reply
 
     def _on_chunk(self, frame: Frame) -> bytes:
         if frame.frame_type != FrameType.ENC_CHUNK:
             raise ProtocolError("expected ENC_CHUNK")
         assert self._public_key is not None
+        if frame.version == codec.WIRE_VERSION_2:
+            if frame.sequence < self._chunks_received:
+                return b""  # duplicate of an already-folded chunk: ignore
+            if frame.sequence > self._chunks_received:
+                raise ProtocolError(
+                    "chunk sequence gap: got %d, expected %d"
+                    % (frame.sequence, self._chunks_received)
+                )
         ciphertexts = codec.decode_ciphertext_chunk(frame.payload, self._key_bits)
         if self._received + len(ciphertexts) > len(self.database):
             raise ProtocolError("client sent more ciphertexts than elements")
@@ -219,9 +491,22 @@ class ServerSession:
                 )
             self.ciphertext_log.append(ct)
             self._received += 1
-        if self._received == len(self.database):
+        self._chunks_received += 1
+        self.chunk_frames_processed += 1
+        done = self._received == len(self.database)
+        if self._resume_state is not None:
+            state = self._resume_state
+            state.aggregate = self._aggregate
+            state.received = self._received
+            state.chunks_received = self._chunks_received
+            state.done = done
+            if self._session_id is not None and self.registry is not None:
+                self.registry.save(self._session_id, state)
+        if done:
             self._state = self._DONE
-            return codec.encode_result(self._aggregate, self._key_bits)
+            return codec.encode_result(
+                self._aggregate, self._key_bits, self._reply_sequence()
+            )
         return b""
 
 
@@ -240,3 +525,108 @@ def run_sessions_in_memory(
     if client.result is None:
         raise ProtocolError("protocol completed without a result")
     return client.result
+
+
+# -- transport drivers --------------------------------------------------------
+
+
+def serve_over_transport(
+    session: ServerSession,
+    transport: Transport,
+    recv_bytes: int = DEFAULT_RECV_BYTES,
+) -> ServerSession:
+    """Serve one connection until completion, error, or peer close.
+
+    Transport failures (including read timeouts — the transport should
+    carry a deadline so a dead peer cannot hang the server) propagate as
+    typed :class:`~repro.exceptions.TransportError`\\ s.
+    """
+    while True:
+        data = transport.recv(recv_bytes)
+        if not data:
+            break  # peer closed; a resumable client will reconnect
+        reply = session.receive_bytes(data)
+        if reply:
+            transport.send(reply)
+        if session.errored or session.finished:
+            break
+    return session
+
+
+def run_over_transport(
+    client: ClientSession,
+    transport: Transport,
+    recv_bytes: int = DEFAULT_RECV_BYTES,
+) -> int:
+    """Run a client to completion over one connection (no reconnects)."""
+    for outgoing in client.initial_bytes():
+        transport.send(outgoing)
+    while client.result is None:
+        data = transport.recv(recv_bytes)
+        if not data:
+            raise TransportError("server closed the connection before the result")
+        client.receive_bytes(data)
+    return client.result
+
+
+def run_resilient(
+    client: ClientSession,
+    connect: Callable[[], Transport],
+    policy: Optional[RetryPolicy] = None,
+    rng: Optional[RandomSource] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    recv_bytes: int = DEFAULT_RECV_BYTES,
+) -> int:
+    """Run a client to completion across reconnects and resumes.
+
+    ``connect`` opens a fresh :class:`~repro.net.transport.Transport`
+    (and may itself raise transport errors, which count as failed
+    attempts).  On a transport failure mid-run the client reconnects
+    under ``policy`` and resumes from the server's ACK — re-sending
+    cached ciphertext chunks, never re-encrypting.  Protocol violations
+    are *not* retried; they propagate immediately.
+
+    Raises :class:`~repro.exceptions.RetryExhausted` (with the last
+    transport failure chained) when the policy gives up.
+    """
+    policy = policy or RetryPolicy()
+    rng = as_random_source(rng)
+    resuming = False
+    last: Optional[TransportError] = None
+    for attempt in range(policy.max_attempts):
+        if attempt:
+            sleep(policy.delay_s(attempt, rng))
+        try:
+            transport = connect()
+        except TransportError as exc:
+            last = exc
+            continue
+        try:
+            if resuming:
+                transport.send(client.resume_request())
+                while not client.resume_ready and client.result is None:
+                    data = transport.recv(recv_bytes)
+                    if not data:
+                        raise TransportError("connection closed awaiting ACK")
+                    client.receive_bytes(data)
+                stream = client.resume_bytes() if client.result is None else iter(())
+            else:
+                stream = client.initial_bytes()
+            for outgoing in stream:
+                transport.send(outgoing)
+            while client.result is None:
+                data = transport.recv(recv_bytes)
+                if not data:
+                    raise TransportError(
+                        "server closed the connection before the result"
+                    )
+                client.receive_bytes(data)
+            return client.result
+        except TransportError as exc:
+            last = exc
+            resuming = client.session_id is not None
+        finally:
+            transport.close()
+    raise RetryExhausted(
+        "gave up after %d attempts: %s" % (policy.max_attempts, last)
+    ) from last

@@ -1,0 +1,260 @@
+"""Chaos suite: seeded fault plans against the real wire protocol.
+
+Every test here drives genuine kernel sockets.  The sweep replays ≥ 50
+deterministic fault plans (byte corruption, truncation, delays, partial
+writes, mid-stream disconnects) against a client/server session pair and
+asserts the only possible outcomes are (a) the correct selected sum or
+(b) a typed :class:`~repro.exceptions.ReproError` — never a wrong
+answer, never a hang (every socket carries a deadline and every thread
+join is checked).
+
+The resume test then checks the economics: a client disconnected after
+k of m chunks re-sends exactly m − k chunks on reconnect — verified via
+wire byte counters — and performs exactly one Paillier encryption per
+element over its whole lifetime, because re-encryption is the cost the
+resumable protocol exists to avoid (paper §3: client encryption
+dominates).
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.crypto.paillier import generate_keypair
+from repro.crypto.rng import DeterministicRandom
+from repro.datastore.workload import WorkloadGenerator
+from repro.exceptions import ReproError
+from repro.net import codec
+from repro.net.faults import FaultEvent, FaultKind, FaultPlan, FaultyTransport
+from repro.net.transport import RetryPolicy, SocketTransport
+from repro.spfe.session import (
+    ClientSession,
+    ServerSession,
+    SessionRegistry,
+    run_over_transport,
+    run_resilient,
+    serve_over_transport,
+)
+
+KEY_BITS = 128
+N = 24
+CHUNK = 4
+CHUNKS = N // CHUNK
+READ_TIMEOUT = 5.0
+JOIN_TIMEOUT = 15.0
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(scope="module")
+def workload():
+    generator = WorkloadGenerator("chaos-transport")
+    database = generator.database(N, value_bits=16)
+    selection = generator.random_selection(N, N // 3)
+    keypair = generate_keypair(KEY_BITS, DeterministicRandom("chaos-keypair"))
+    return database, selection, database.select_sum(selection), keypair
+
+
+def make_client(workload, seed):
+    _, selection, __, keypair = workload
+    return ClientSession(
+        selection,
+        key_bits=KEY_BITS,
+        chunk_size=CHUNK,
+        rng=DeterministicRandom("chaos-client-%r" % (seed,)),
+        keypair=keypair,
+    )
+
+
+def frame_sizes():
+    """Exact wire sizes of the v2 handshake and chunk frames."""
+    hello = len(codec.encode_hello(KEY_BITS, N, CHUNK, b"\0" * 16, 0))
+    pk = len(codec.encode_public_key((1 << (KEY_BITS - 1)) + 1, KEY_BITS, 0))
+    chunk = len(codec.encode_ciphertext_chunk([1] * CHUNK, KEY_BITS, 0))
+    return hello, pk, chunk
+
+
+class TestChaosSweep:
+    """≥ 50 seeded fault plans over a real socketpair: correct sum or
+    typed error, within the deadline.  Nothing else is acceptable."""
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_seeded_fault_plan(self, workload, seed):
+        database, selection, expected, _ = workload
+        hello, pk, chunk = frame_sizes()
+        stream_bytes = hello + pk + CHUNKS * chunk
+        plan = FaultPlan.generate(
+            seed, stream_bytes=stream_bytes, events=3, max_delay_s=0.005
+        )
+
+        a, b = socket.socketpair()
+        server = ServerSession(database, registry=SessionRegistry())
+        server_failure = []
+
+        def serve():
+            with SocketTransport(b, read_timeout=READ_TIMEOUT) as transport:
+                try:
+                    serve_over_transport(server, transport)
+                except ReproError as exc:
+                    server_failure.append(exc)
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+
+        client = make_client(workload, seed)
+        transport = FaultyTransport(
+            SocketTransport(a, read_timeout=READ_TIMEOUT), plan
+        )
+        try:
+            value = run_over_transport(client, transport)
+            outcome = ("ok", value)
+        except ReproError as exc:
+            outcome = ("error", exc)
+        finally:
+            transport.close()
+
+        thread.join(JOIN_TIMEOUT)
+        assert not thread.is_alive(), "server hung past its deadline\n" + plan.describe()
+        if outcome[0] == "ok":
+            assert outcome[1] == expected, "wrong sum under plan:\n" + plan.describe()
+        else:
+            assert isinstance(outcome[1], ReproError)
+        if server_failure:
+            assert isinstance(server_failure[0], ReproError)
+
+    def test_sweep_covers_every_fault_kind(self, workload):
+        """Sanity check on the sweep itself: the 50 generated plans must
+        collectively exercise every fault kind and actually land inside
+        the live stream window — otherwise the sweep tests nothing."""
+        hello, pk, chunk = frame_sizes()
+        stream_bytes = hello + pk + CHUNKS * chunk
+        fault_positions = [
+            event.position
+            for seed in range(50)
+            for event in FaultPlan.generate(seed, stream_bytes=stream_bytes, events=3)
+        ]
+        assert any(p < stream_bytes for p in fault_positions)
+        kinds = {
+            event.kind
+            for seed in range(50)
+            for event in FaultPlan.generate(seed, stream_bytes=stream_bytes, events=3)
+        }
+        assert kinds == set(FaultKind.ALL)
+
+
+class TestResumeAccounting:
+    def test_disconnect_resumes_with_exact_resend_count(self, workload):
+        """Disconnected after k of m chunks → the reconnect re-sends
+        exactly m − k chunk frames (byte counters prove it) and never
+        re-encrypts an element."""
+        database, selection, expected, _ = workload
+        hello, pk, chunk = frame_sizes()
+        k = 4
+        cut = hello + pk + k * chunk  # first byte of chunk k never leaves
+        plan = FaultPlan([FaultEvent(FaultKind.DISCONNECT, cut)])
+
+        listener = socket.create_server(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+        registry = SessionRegistry()
+        sessions = []
+
+        def serve():
+            for _ in range(3):
+                try:
+                    connection, _ = listener.accept()
+                except OSError:
+                    return
+                session = ServerSession(database, registry=registry)
+                sessions.append(session)
+                with SocketTransport(connection, read_timeout=READ_TIMEOUT) as t:
+                    try:
+                        serve_over_transport(session, t)
+                    except ReproError:
+                        pass
+                if session.finished:
+                    return
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+
+        client = make_client(workload, "resume")
+        transports = []
+
+        def connect():
+            inner = SocketTransport.connect(
+                "127.0.0.1", port, connect_timeout=READ_TIMEOUT,
+                read_timeout=READ_TIMEOUT,
+            )
+            transport = FaultyTransport(inner, plan) if not transports else inner
+            transports.append(transport)
+            return transport
+
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0)
+        value = run_resilient(client, connect, policy, sleep=lambda _s: None)
+        thread.join(JOIN_TIMEOUT)
+        listener.close()
+        assert not thread.is_alive()
+
+        assert value == expected
+        # One encryption per element, across both connections.
+        assert client.encryptions == N
+        # The first connection delivered the handshake plus exactly k chunks.
+        assert len(transports) == 2
+        assert transports[0].inner.bytes_sent == cut
+        assert sessions[0].chunk_frames_processed == k
+        # The reconnect carried RESUME plus exactly m - k chunk frames.
+        resume_len = len(codec.encode_resume(b"\0" * 16))
+        assert transports[1].bytes_sent == resume_len + (CHUNKS - k) * chunk
+        assert sessions[1].chunk_frames_processed == CHUNKS - k
+
+    def test_every_cut_point_still_sums_correctly(self, workload):
+        """Disconnect at each chunk boundary in turn; resume always
+        completes with the right answer and zero re-encryption."""
+        database, selection, expected, _ = workload
+        hello, pk, chunk = frame_sizes()
+
+        for k in range(CHUNKS):
+            cut = hello + pk + k * chunk
+            plan = FaultPlan([FaultEvent(FaultKind.DISCONNECT, cut)])
+            listener = socket.create_server(("127.0.0.1", 0))
+            port = listener.getsockname()[1]
+            registry = SessionRegistry()
+
+            def serve():
+                for _ in range(3):
+                    try:
+                        connection, _ = listener.accept()
+                    except OSError:
+                        return
+                    session = ServerSession(database, registry=registry)
+                    with SocketTransport(connection, read_timeout=READ_TIMEOUT) as t:
+                        try:
+                            serve_over_transport(session, t)
+                        except ReproError:
+                            pass
+                    if session.finished:
+                        return
+
+            thread = threading.Thread(target=serve, daemon=True)
+            thread.start()
+            client = make_client(workload, "cut-%d" % k)
+            first = []
+
+            def connect():
+                inner = SocketTransport.connect(
+                    "127.0.0.1", port, connect_timeout=READ_TIMEOUT,
+                    read_timeout=READ_TIMEOUT,
+                )
+                if not first:
+                    first.append(True)
+                    return FaultyTransport(inner, plan)
+                return inner
+
+            policy = RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0)
+            value = run_resilient(client, connect, policy, sleep=lambda _s: None)
+            thread.join(JOIN_TIMEOUT)
+            listener.close()
+            assert not thread.is_alive()
+            assert value == expected
+            assert client.encryptions == N

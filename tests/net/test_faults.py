@@ -1,0 +1,145 @@
+"""Tests for the deterministic fault injector."""
+
+import pytest
+
+from repro.exceptions import ParameterError, TransportError
+from repro.net.faults import FaultEvent, FaultKind, FaultPlan, FaultyTransport
+from repro.net.transport import memory_pair
+
+
+def faulty_pair(events, **kwargs):
+    a, b = memory_pair()
+    return FaultyTransport(a, FaultPlan(events), **kwargs), b
+
+
+class TestFaultPlan:
+    def test_generation_is_deterministic(self):
+        one = FaultPlan.generate(17, stream_bytes=10_000, events=5)
+        two = FaultPlan.generate(17, stream_bytes=10_000, events=5)
+        assert one.events == two.events
+        assert len(one) == 5
+        assert all(0 <= e.position < 10_000 for e in one)
+
+    def test_different_seeds_differ(self):
+        plans = {
+            FaultPlan.generate(seed, stream_bytes=10_000, events=4).events
+            for seed in range(10)
+        }
+        assert len(plans) > 1
+
+    def test_events_sorted_by_position(self):
+        plan = FaultPlan(
+            [
+                FaultEvent(FaultKind.DELAY, 50, 0.001),
+                FaultEvent(FaultKind.CORRUPT, 10, 0xFF),
+            ]
+        )
+        assert [e.position for e in plan] == [10, 50]
+        assert "corrupt@10" in plan.describe()
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            FaultEvent("meteor-strike", 0)
+        with pytest.raises(ParameterError):
+            FaultEvent(FaultKind.CORRUPT, 0, 0)  # mask must be 1..255
+        with pytest.raises(ParameterError):
+            FaultEvent(FaultKind.DELAY, -1)
+        with pytest.raises(ParameterError):
+            FaultPlan.generate(1, stream_bytes=0)
+        with pytest.raises(ParameterError):
+            FaultPlan.generate(1, stream_bytes=10, kinds=())
+        with pytest.raises(ParameterError):
+            FaultPlan.generate(1, stream_bytes=10, kinds=("nope",))
+
+
+class TestFaultyTransport:
+    def test_clean_plan_is_transparent(self):
+        faulty, peer = faulty_pair([])
+        faulty.send(b"hello")
+        faulty.send(b"world")
+        assert peer.recv(100) + peer.recv(100) == b"helloworld"
+        assert faulty.bytes_sent == 10
+
+    def test_corrupt_flips_exactly_one_byte(self):
+        faulty, peer = faulty_pair([FaultEvent(FaultKind.CORRUPT, 7, 0x20)])
+        faulty.send(b"abcde")
+        faulty.send(b"fghij")
+        received = peer.recv(100) + peer.recv(100)
+        assert received == b"abcdefg" + bytes([ord("h") ^ 0x20]) + b"ij"
+        assert [e.kind for e in faulty.fired] == [FaultKind.CORRUPT]
+
+    def test_truncate_drops_the_tail_of_a_write(self):
+        faulty, peer = faulty_pair([FaultEvent(FaultKind.TRUNCATE, 3)])
+        faulty.send(b"abcdef")
+        assert peer.recv(100) == b"abc"
+        # Later writes still go through (the stream has desynchronised,
+        # which is exactly the condition the decoder must catch).
+        faulty.send(b"XYZ")
+        assert peer.recv(100) == b"XYZ"
+
+    def test_partial_write_splits_but_preserves_bytes(self):
+        faulty, peer = faulty_pair([FaultEvent(FaultKind.PARTIAL_WRITE, 4)])
+        faulty.send(b"abcdefgh")
+        first = peer.recv(100)
+        second = peer.recv(100)
+        assert first == b"abcd" and second == b"efgh"
+
+    def test_disconnect_delivers_prefix_then_kills(self):
+        faulty, peer = faulty_pair([FaultEvent(FaultKind.DISCONNECT, 3)])
+        with pytest.raises(TransportError):
+            faulty.send(b"abcdef")
+        assert peer.recv(100) == b"abc"
+        assert peer.recv(100) == b""  # inner transport was closed
+        with pytest.raises(TransportError):
+            faulty.send(b"more")
+        with pytest.raises(TransportError):
+            faulty.recv()
+
+    def test_delay_uses_injected_sleep(self):
+        slept = []
+        faulty, peer = faulty_pair(
+            [FaultEvent(FaultKind.DELAY, 2, 0.004)], sleep=slept.append
+        )
+        faulty.send(b"abcd")
+        assert peer.recv(100) == b"abcd"
+        assert slept == [0.004]
+
+    def test_positions_are_absolute_across_writes(self):
+        faulty, peer = faulty_pair([FaultEvent(FaultKind.CORRUPT, 10, 1)])
+        for _ in range(4):  # 3 bytes per write; offset 10 is in write 4
+            faulty.send(b"aaa")
+        received = b"".join(peer.recv(100) for _ in range(4))
+        assert received[:10] == b"a" * 10
+        assert received[10] == ord("a") ^ 1
+        assert received[11:] == b"a"
+
+    def test_truncate_skips_events_in_dropped_tail(self):
+        faulty, peer = faulty_pair(
+            [
+                FaultEvent(FaultKind.TRUNCATE, 2),
+                FaultEvent(FaultKind.CORRUPT, 4, 0xFF),
+            ]
+        )
+        faulty.send(b"abcdef")  # corrupt@4 lands in the dropped tail
+        assert peer.recv(100) == b"ab"
+        faulty.send(b"ghijkl")  # offset 6..: the stale event must not fire
+        assert peer.recv(100) == b"ghijkl"
+
+    def test_same_plan_same_behaviour(self):
+        plan = FaultPlan.generate("replay", stream_bytes=64, events=3,
+                                  kinds=(FaultKind.CORRUPT, FaultKind.PARTIAL_WRITE))
+        outputs = []
+        for _ in range(2):
+            faulty, peer = memory_pair()
+            wrapped = FaultyTransport(faulty, plan)
+            wrapped.send(b"0123456789" * 8)
+            chunks = []
+            while True:
+                data = peer.recv(1000)
+                if not data:
+                    break
+                chunks.append(data)
+                if peer.pending() == 0:
+                    break
+            outputs.append(b"".join(chunks))
+        assert outputs[0] == outputs[1]

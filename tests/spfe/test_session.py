@@ -8,12 +8,13 @@ from hypothesis import given, settings, strategies as st
 from repro.crypto.rng import DeterministicRandom
 from repro.datastore.database import ServerDatabase
 from repro.datastore.workload import WorkloadGenerator
-from repro.exceptions import ProtocolError
+from repro.exceptions import ProtocolError, SessionResumeError
 from repro.net import codec
 from repro.net.codec import FrameType
 from repro.spfe.session import (
     ClientSession,
     ServerSession,
+    SessionRegistry,
     run_sessions_in_memory,
 )
 
@@ -188,3 +189,156 @@ class TestValidationAndErrors:
         bogus = codec.encode_hello(128, 10, 5)
         with pytest.raises(ProtocolError):
             client.receive_bytes(bogus)
+
+    def test_client_rejects_unsolicited_ack(self, workload_bytes):
+        _, selection = workload_bytes
+        client = make_client(selection)
+        with pytest.raises(ProtocolError):
+            client.receive_bytes(codec.encode_ack(3))
+
+
+def drive(client_stream, server, client):
+    """Feed client frames to the server, relaying replies back."""
+    for outgoing in client_stream:
+        reply = server.receive_bytes(outgoing)
+        if reply:
+            client.receive_bytes(reply)
+
+
+class TestResume:
+    def test_resume_after_partial_stream(self, workload_bytes):
+        """A client cut off after k chunks re-sends exactly the rest —
+        no re-encryption, and the sum is still correct."""
+        database, selection = workload_bytes
+        expected = database.select_sum(selection)
+        registry = SessionRegistry()
+        client = make_client(selection, chunk_size=9)  # 7 chunks over n=60
+
+        server1 = ServerSession(database, registry=registry)
+        stream = client.initial_bytes()
+        server1.receive_bytes(next(stream))  # HELLO
+        server1.receive_bytes(next(stream))  # PUBLIC_KEY
+        for _ in range(3):  # 3 of 7 chunks, then the connection "dies"
+            server1.receive_bytes(next(stream))
+        stream.close()
+        encryptions_at_cut = client.encryptions
+        assert encryptions_at_cut == 3 * 9
+
+        server2 = ServerSession(database, registry=registry)
+        client.receive_bytes(server2.receive_bytes(client.resume_request()))
+        assert client.resume_ready
+        sent_before = client.chunk_frames_sent
+        drive(client.resume_bytes(), server2, client)
+
+        assert client.result == expected
+        assert client.chunk_frames_sent - sent_before == 7 - 3
+        assert server2.chunk_frames_processed == 7 - 3
+        assert client.encryptions == len(selection)  # never re-encrypted
+
+    def test_resume_unknown_session_restarts_cleanly(self, workload_bytes):
+        database, selection = workload_bytes
+        client = make_client(selection, chunk_size=9)
+        for data in client.initial_bytes():
+            pass  # encrypt everything; the "connection" delivered nothing
+        server = ServerSession(database, registry=SessionRegistry())
+        client.receive_bytes(server.receive_bytes(client.resume_request()))
+        assert client.resume_ready
+        drive(client.resume_bytes(), server, client)
+        assert client.result == database.select_sum(selection)
+        # The restart reused the cached ciphertexts: still one encryption
+        # per element, even though every chunk crossed the wire twice.
+        assert client.encryptions == len(selection)
+
+    def test_resume_after_result_lost_resends_result(self, workload_bytes):
+        database, selection = workload_bytes
+        registry = SessionRegistry()
+        client = make_client(selection)
+        server1 = ServerSession(database, registry=registry)
+        for outgoing in client.initial_bytes():
+            server1.receive_bytes(outgoing)  # final reply (RESULT) is lost
+        assert server1.finished and client.result is None
+
+        server2 = ServerSession(database, registry=registry)
+        client.receive_bytes(server2.receive_bytes(client.resume_request()))
+        assert client.result == database.select_sum(selection)
+
+    def test_eviction_degrades_to_restart(self, workload_bytes):
+        database, selection = workload_bytes
+        registry = SessionRegistry(capacity=1)
+        client = make_client(selection, chunk_size=9)
+        server1 = ServerSession(database, registry=registry)
+        stream = client.initial_bytes()
+        for _ in range(4):  # hello, pk, 2 chunks
+            server1.receive_bytes(next(stream))
+        stream.close()
+        # Another session pushes ours out of the capacity-1 registry.
+        other = make_client([1] * 60, rng=DeterministicRandom("other"))
+        run_sessions_in_memory(other, ServerSession(database, registry=registry))
+        assert registry.evictions >= 1
+        assert client.session_id not in registry
+
+        server2 = ServerSession(database, registry=registry)
+        client.receive_bytes(server2.receive_bytes(client.resume_request()))
+        drive(client.resume_bytes(), server2, client)
+        assert client.result == database.select_sum(selection)
+
+    def test_duplicate_chunks_are_ignored(self, workload_bytes):
+        database, selection = workload_bytes
+        client = make_client(selection, chunk_size=9)
+        server = ServerSession(database, registry=SessionRegistry())
+        frames = list(client.initial_bytes())
+        server.receive_bytes(frames[0])
+        server.receive_bytes(frames[1])
+        server.receive_bytes(frames[2])  # chunk 0
+        assert server.receive_bytes(frames[2]) == b""  # duplicate: no-op
+        assert not server.errored
+        for data in frames[3:]:
+            reply = server.receive_bytes(data)
+            if reply:
+                client.receive_bytes(reply)
+        assert client.result == database.select_sum(selection)
+        assert server.chunk_frames_processed == len(frames) - 2
+
+    def test_chunk_sequence_gap_is_rejected(self, workload_bytes):
+        database, selection = workload_bytes
+        client = make_client(selection, chunk_size=9)
+        server = ServerSession(database)
+        frames = list(client.initial_bytes())
+        server.receive_bytes(frames[0])
+        server.receive_bytes(frames[1])
+        reply = server.receive_bytes(frames[3])  # chunk 1 before chunk 0
+        assert server.errored
+        decoder = codec.FrameDecoder()
+        decoder.feed(reply)
+        assert next(decoder.frames()).frame_type == FrameType.ERROR
+
+    def test_v1_wire_cannot_resume(self, workload_bytes):
+        database, selection = workload_bytes
+        client = make_client(selection, wire_version=1)
+        assert client.session_id is None
+        with pytest.raises(SessionResumeError):
+            client.resume_request()
+        # ...but the legacy wire still completes against a v2 server.
+        value = run_sessions_in_memory(client, ServerSession(database))
+        assert value == database.select_sum(selection)
+
+    def test_resume_without_registry_says_unknown(self, workload_bytes):
+        database, selection = workload_bytes
+        client = make_client(selection)
+        server = ServerSession(database)  # no registry at all
+        client.receive_bytes(server.receive_bytes(client.resume_request()))
+        drive(client.resume_bytes(), server, client)
+        assert client.result == database.select_sum(selection)
+
+    def test_registry_lru_and_discard(self):
+        registry = SessionRegistry(capacity=2)
+        a, b, c = b"a" * 16, b"b" * 16, b"c" * 16
+        registry.save(a, "A")
+        registry.save(b, "B")
+        registry.get(a)  # touch a so b is the LRU
+        registry.save(c, "C")
+        assert a in registry and c in registry and b not in registry
+        registry.discard(a)
+        assert len(registry) == 1
+        with pytest.raises(Exception):
+            SessionRegistry(capacity=0)

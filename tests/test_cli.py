@@ -206,3 +206,57 @@ class TestServeQuery:
         expected = values[0] + values[10] + values[20]
         assert "private sum of 3 elements: %d" % expected in output
         assert "served" in server_out.getvalue()
+
+    def test_serve_drops_silent_peer_instead_of_hanging(self, tmp_path):
+        """A client that connects and says nothing hits the read
+        deadline: the server reports a typed drop and exits cleanly."""
+        import io
+        import socket
+        import threading
+        import time
+
+        path = tmp_path / "db.txt"
+        path.write_text("\n".join(str(i) for i in range(10)))
+
+        server_out = io.StringIO()
+        listener_probe = socket.socket()
+        listener_probe.bind(("127.0.0.1", 0))
+        port = listener_probe.getsockname()[1]
+        listener_probe.close()
+
+        server_thread = threading.Thread(
+            target=main,
+            args=(
+                ["serve", "--db", str(path), "--port", str(port),
+                 "--queries", "1", "--timeout", "0.3"],
+                server_out,
+            ),
+            daemon=True,
+        )
+        server_thread.start()
+        for _ in range(100):
+            if "serving" in server_out.getvalue():
+                break
+            time.sleep(0.02)
+
+        silent = socket.create_connection(("127.0.0.1", port))
+        server_thread.join(timeout=10)
+        silent.close()
+        assert not server_thread.is_alive()
+        assert "dropped" in server_out.getvalue()
+
+    def test_query_retries_are_bounded_and_typed(self):
+        """With nothing listening, query fails fast with exit code 2
+        (RetryExhausted is a ReproError), not a hang or a traceback."""
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        code, output = run_cli(
+            "query", "--port", str(port), "--n", "10", "--select", "0",
+            "--key-bits", "128", "--timeout", "0.3", "--retries", "1",
+        )
+        assert code == 2
+        assert "error:" in output

@@ -78,6 +78,52 @@ def test_top_level_api_surface():
         assert hasattr(repro, name), "repro.%s missing" % name
 
 
+class TestExceptionHierarchy:
+    """Every public exception is exported, rooted at ReproError, and
+    catchable by the single ``except ReproError`` contract."""
+
+    def _exception_classes(self):
+        import repro.exceptions as exceptions
+
+        return {
+            name: obj
+            for name, obj in vars(exceptions).items()
+            if inspect.isclass(obj) and issubclass(obj, BaseException)
+        }
+
+    def test_all_matches_defined_exceptions_exactly(self):
+        import repro.exceptions as exceptions
+
+        assert set(exceptions.__all__) == set(self._exception_classes())
+
+    def test_every_exception_derives_from_repro_error(self):
+        from repro.exceptions import ReproError
+
+        for name, obj in self._exception_classes().items():
+            assert issubclass(obj, ReproError), (
+                "%s does not derive from ReproError" % name
+            )
+            assert obj.__doc__, "%s has no docstring" % name
+
+    def test_transport_errors_are_present_and_nested(self):
+        from repro import exceptions
+
+        assert issubclass(exceptions.TransportTimeout, exceptions.TransportError)
+        assert issubclass(exceptions.RetryExhausted, exceptions.TransportError)
+        assert issubclass(exceptions.SessionResumeError, exceptions.ProtocolError)
+        for name in ("TransportError", "TransportTimeout", "RetryExhausted",
+                     "SessionResumeError"):
+            assert name in exceptions.__all__
+
+    def test_one_except_clause_catches_everything(self):
+        from repro.exceptions import ReproError, TransportTimeout
+
+        try:
+            raise TransportTimeout("deadline passed")
+        except ReproError as exc:
+            assert "deadline" in str(exc)
+
+
 def test_version_is_pep440ish():
     parts = repro.__version__.split(".")
     assert len(parts) >= 2
