@@ -99,20 +99,50 @@ def build_parser() -> argparse.ArgumentParser:
     key_cmd.add_argument("--seed", default=None)
 
     serve_cmd = commands.add_parser(
-        "serve", help="serve a database over TCP (one query per connection)"
+        "serve", help="serve a database over TCP (concurrent, hardened)"
     )
     serve_cmd.add_argument("--db", help="file with one integer per line")
     serve_cmd.add_argument("--random", type=int, metavar="N")
     serve_cmd.add_argument("--host", default="127.0.0.1")
     serve_cmd.add_argument("--port", type=int, default=0, help="0 = ephemeral")
     serve_cmd.add_argument(
-        "--queries", type=int, default=1, help="connections to serve before exiting"
+        "--queries", type=int, default=1,
+        help="completed queries to serve before draining; dropped or "
+        "rejected connections do not consume the budget (0 = serve until "
+        "interrupted)",
     )
     serve_cmd.add_argument("--seed", default="cli")
     serve_cmd.add_argument(
         "--timeout", type=float, default=30.0,
         help="per-read deadline in seconds; a silent peer is dropped, not "
         "waited on forever (0 disables)",
+    )
+    serve_cmd.add_argument(
+        "--max-sessions", type=int, default=4,
+        help="worker threads = maximum concurrent sessions",
+    )
+    serve_cmd.add_argument(
+        "--backlog", type=int, default=8,
+        help="accepted connections queued beyond the worker pool; further "
+        "clients are shed with a typed BUSY frame",
+    )
+    serve_cmd.add_argument(
+        "--session-timeout", type=float, default=0.0,
+        help="total wall-clock budget per connection in seconds; a slow "
+        "client is cut off when its budget is spent (0 disables)",
+    )
+    serve_cmd.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="on shutdown (signal or --queries reached), seconds to let "
+        "in-flight sessions finish before force-closing them",
+    )
+    serve_cmd.add_argument(
+        "--max-key-bits", type=int, default=4096,
+        help="largest client Paillier modulus accepted (policy knob)",
+    )
+    serve_cmd.add_argument(
+        "--min-key-bits", type=int, default=64,
+        help="smallest client Paillier modulus accepted (policy knob)",
     )
 
     query_cmd = commands.add_parser(
@@ -316,40 +346,51 @@ def cmd_keygen(args, out) -> int:
 
 
 def cmd_serve(args, out) -> int:
-    import socket
+    import threading
 
-    from repro.exceptions import TransportError
-    from repro.net.transport import SocketTransport
-    from repro.spfe.session import (
-        ServerSession,
-        SessionRegistry,
-        serve_over_transport,
-    )
+    from repro.net.server import SpfeServer
+    from repro.spfe.validation import ServerPolicy
 
     database = _load_database(args)
-    listener = socket.create_server((args.host, args.port))
-    host, port = listener.getsockname()[:2]
+    if args.queries < 0:
+        raise ReproError("--queries must be non-negative")
+    policy = ServerPolicy(
+        min_key_bits=args.min_key_bits, max_key_bits=args.max_key_bits
+    )
+    server = SpfeServer(
+        database,
+        host=args.host,
+        port=args.port,
+        policy=policy,
+        max_sessions=args.max_sessions,
+        accept_backlog=args.backlog,
+        read_timeout=args.timeout or None,
+        connection_deadline_s=args.session_timeout or None,
+        max_queries=args.queries,
+        log=out.write,
+    )
+    server.start()
+    host, port = server.address
     timeout = args.timeout or None
-    out.write("serving %d rows on %s:%d (%d queries, %s read deadline)\n"
-              % (len(database), host, port, args.queries,
-                 "%.1fs" % timeout if timeout else "no"))
-    # One registry across connections: a client that reconnects resumes
-    # from its last acknowledged chunk instead of restarting.
-    registry = SessionRegistry()
+    out.write(
+        "serving %d rows on %s:%d (%s queries, %d workers, %s read deadline)\n"
+        % (len(database), host, port,
+           str(args.queries) if args.queries else "unlimited",
+           args.max_sessions, "%.1fs" % timeout if timeout else "no")
+    )
+    # Signal handlers only work on the main thread; the in-process test
+    # harness drives this command from worker threads, where the server
+    # drains via --queries instead.
+    restore = None
+    if threading.current_thread() is threading.main_thread():
+        restore = server.install_signal_handlers()
     try:
-        for _ in range(args.queries):
-            connection, peer = listener.accept()
-            session = ServerSession(database, registry=registry)
-            with SocketTransport(connection, read_timeout=timeout) as transport:
-                try:
-                    serve_over_transport(session, transport)
-                except TransportError as exc:
-                    out.write("dropped %s: %s\n" % (peer, exc))
-                    continue
-            out.write("served %s: %d bytes in, %d out\n"
-                      % (peer, session.bytes_received, session.bytes_sent))
+        server.wait(drain_deadline_s=args.drain_timeout)
     finally:
-        listener.close()
+        server.stop(drain_deadline_s=args.drain_timeout)
+        if restore is not None:
+            restore()
+    out.write(server.stats.summary() + "\n")
     return 0
 
 

@@ -148,17 +148,30 @@ class PaillierPublicKey:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "PaillierPublicKey":
-        return cls(decode_int(data))
+        """Parse an untrusted serialized key, rejecting degenerate moduli."""
+        if not data:
+            raise KeyGenerationError("empty public key serialization")
+        n = decode_int(data)
+        if n <= 1:
+            raise KeyGenerationError(
+                "public modulus must exceed 1, got %d" % n
+            )
+        return cls(n)
 
     def ciphertext_to_bytes(self, ciphertext: int) -> bytes:
         """Serialize a ciphertext to its fixed wire width."""
         return encode_int(ciphertext, ciphertext_bytes(self.bits))
 
     def ciphertext_from_bytes(self, data: bytes) -> int:
-        """Parse a wire ciphertext, validating it lies in Z_{n^2}."""
+        """Parse a wire ciphertext, validating membership in Z*_{n^2}.
+
+        Zero is rejected along with ``c >= n^2``: no honest encryption
+        produces it, and folding it into an aggregate silently zeroes
+        the whole product.
+        """
         value = decode_int(data)
-        if not 0 <= value < self.nsquare:
-            raise DecryptionError("ciphertext outside Z_{n^2}")
+        if not 0 < value < self.nsquare:
+            raise DecryptionError("ciphertext outside Z*_{n^2}")
         return value
 
     # -- dunder -------------------------------------------------------------

@@ -27,6 +27,9 @@ __all__ = [
     "TransportTimeout",
     "RetryExhausted",
     "SessionResumeError",
+    "ValidationError",
+    "PolicyViolation",
+    "ServerBusy",
 ]
 
 
@@ -107,3 +110,33 @@ class RetryExhausted(TransportError):
 
 class SessionResumeError(ProtocolError):
     """Raised when a session cannot be resumed (wrong wire version, ...)."""
+
+
+class ValidationError(ProtocolError):
+    """Raised when untrusted wire input fails a trust-boundary check.
+
+    Covers cryptographic sanity (a public modulus that is even or out of
+    its announced bit range, a ciphertext outside Z*_{n^2}) as well as
+    structurally well-formed frames whose *contents* cannot be honest.
+    A :class:`ProtocolError` subclass so existing handlers keep working,
+    but distinguishable for accounting and typed ERROR frames.
+    """
+
+
+class PolicyViolation(ValidationError):
+    """Raised when input exceeds a configured :class:`ServerPolicy` limit.
+
+    The input may be internally consistent — it is simply larger, longer,
+    or weaker than this server is willing to process (key bits outside
+    the accepted range, per-session byte quota exhausted, too many
+    chunks, ...).
+    """
+
+
+class ServerBusy(TransportError):
+    """Raised client-side when the server sheds the connection with BUSY.
+
+    A :class:`TransportError` subclass deliberately: load shedding is a
+    transient condition, so :func:`~repro.spfe.session.run_resilient`
+    retries it under the normal backoff policy.
+    """

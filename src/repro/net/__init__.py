@@ -22,6 +22,10 @@ from repro.net.transport import (
 )
 from repro.net.wire import Message, MessageLog, vector_wire_bytes
 
+# Imported last: the server runtime sits above the session layer, which
+# itself imports the submodules above.
+from repro.net.server import ServerStats, SpfeServer  # noqa: E402
+
 __all__ = [
     "Channel",
     "FaultEvent",
@@ -34,7 +38,9 @@ __all__ = [
     "MessageLog",
     "Pipe",
     "RetryPolicy",
+    "ServerStats",
     "SocketTransport",
+    "SpfeServer",
     "Transport",
     "call_with_retry",
     "connect_with_retry",

@@ -43,10 +43,18 @@ Payload encodings:
 * ENC_CHUNK — ciphertext count (u32) then that many fixed-width
   ciphertexts (2 * key_bits / 8 bytes each).
 * RESULT — one fixed-width ciphertext.
-* ERROR — UTF-8 message.
+* ERROR — UTF-8 message, optionally prefixed with a typed error code
+  (magic byte ``0xEE`` + code u8) so the peer can map the rejection back
+  onto the exception hierarchy (:data:`ERROR_CODE_POLICY` →
+  :class:`~repro.exceptions.PolicyViolation`, ...).  Untagged payloads
+  remain plain UTF-8 for v1 compatibility.
 * RESUME — a 16-byte session id (client asks to continue that session).
 * ACK — next expected chunk index (u32); ``RESUME_UNKNOWN`` means the
   server no longer knows the session and the client must restart.
+* BUSY — the server is shedding load: retry-after hint in milliseconds
+  (u32).  Sent instead of accepting a session when the pool and accept
+  queue are full, or while draining; the client treats it as a
+  transient, retryable condition (:class:`~repro.exceptions.ServerBusy`).
 """
 
 from __future__ import annotations
@@ -76,12 +84,19 @@ __all__ = [
     "decode_resume",
     "encode_ack",
     "decode_ack",
+    "encode_error",
+    "decode_error",
+    "encode_busy",
+    "decode_busy",
     "PROTOCOL_VERSION",
     "WIRE_MAGIC",
     "WIRE_VERSION_1",
     "WIRE_VERSION_2",
     "SESSION_ID_BYTES",
     "RESUME_UNKNOWN",
+    "ERROR_CODE_PROTOCOL",
+    "ERROR_CODE_POLICY",
+    "ERROR_CODE_VALIDATION",
 ]
 
 PROTOCOL_VERSION = 1
@@ -109,8 +124,22 @@ class FrameType:
     ERROR = 5
     RESUME = 6
     ACK = 7
+    BUSY = 8
 
-    _KNOWN = frozenset((HELLO, PUBLIC_KEY, ENC_CHUNK, RESULT, ERROR, RESUME, ACK))
+    _KNOWN = frozenset(
+        (HELLO, PUBLIC_KEY, ENC_CHUNK, RESULT, ERROR, RESUME, ACK, BUSY)
+    )
+
+
+#: ERROR payload type tags (second byte after the 0xEE magic).
+ERROR_CODE_PROTOCOL = 1
+ERROR_CODE_POLICY = 2
+ERROR_CODE_VALIDATION = 3
+
+_ERROR_MAGIC = 0xEE
+_KNOWN_ERROR_CODES = frozenset(
+    (ERROR_CODE_PROTOCOL, ERROR_CODE_POLICY, ERROR_CODE_VALIDATION)
+)
 
 
 @dataclass(frozen=True)
@@ -173,7 +202,10 @@ class FrameDecoder:
 
     MAX_PAYLOAD = 64 * 1024 * 1024  # sanity cap against corrupt lengths
 
-    def __init__(self) -> None:
+    def __init__(self, max_payload: Optional[int] = None) -> None:
+        if max_payload is not None and max_payload < 1:
+            raise ProtocolError("max_payload must be positive")
+        self.max_payload = max_payload or self.MAX_PAYLOAD
         self._buffer = bytearray()
 
     def feed(self, data: bytes) -> None:
@@ -199,7 +231,7 @@ class FrameDecoder:
         frame_type, length = _HEADER.unpack_from(self._buffer, 0)
         if frame_type not in FrameType._KNOWN:
             raise ProtocolError("corrupt stream: frame type %d" % frame_type)
-        if length > self.MAX_PAYLOAD:
+        if length > self.max_payload:
             raise ProtocolError("corrupt stream: %d-byte payload" % length)
         if len(self._buffer) < _HEADER.size + length:
             return None
@@ -217,7 +249,7 @@ class FrameDecoder:
             raise ProtocolError("corrupt stream: wire version %d" % version)
         if frame_type not in FrameType._KNOWN:
             raise ProtocolError("corrupt stream: frame type %d" % frame_type)
-        if length > self.MAX_PAYLOAD:
+        if length > self.max_payload:
             raise ProtocolError("corrupt stream: %d-byte payload" % length)
         if len(self._buffer) < _HEADER_V2.size + length:
             return None
@@ -370,4 +402,46 @@ def decode_ack(payload: bytes) -> int:
     """Parse an ACK payload back to the next expected chunk index."""
     if len(payload) != _COUNT.size:
         raise ProtocolError("malformed ACK payload")
+    return _COUNT.unpack(payload)[0]
+
+
+def encode_error(
+    message: str,
+    code: int = ERROR_CODE_PROTOCOL,
+    sequence: Optional[int] = None,
+) -> bytes:
+    """Encode a typed ERROR frame (0xEE magic + code byte + UTF-8)."""
+    if code not in _KNOWN_ERROR_CODES:
+        raise ProtocolError("unknown error code %d" % code)
+    payload = bytes((_ERROR_MAGIC, code)) + message.encode("utf-8")
+    return encode_frame(FrameType.ERROR, payload, sequence)
+
+
+def decode_error(payload: bytes) -> Tuple[int, str]:
+    """Parse an ERROR payload into (code, message).
+
+    Untagged payloads (no 0xEE magic — pre-typed-error peers) decode as
+    ``(ERROR_CODE_PROTOCOL, message)``.
+    """
+    if len(payload) >= 2 and payload[0] == _ERROR_MAGIC:
+        code = payload[1]
+        if code not in _KNOWN_ERROR_CODES:
+            raise ProtocolError("unknown error code %d" % code)
+        return code, payload[2:].decode("utf-8", "replace")
+    return ERROR_CODE_PROTOCOL, payload.decode("utf-8", "replace")
+
+
+def encode_busy(
+    retry_after_ms: int = 0, sequence: Optional[int] = 0
+) -> bytes:
+    """Encode the BUSY load-shed frame with a retry-after hint."""
+    if not 0 <= retry_after_ms <= 0xFFFFFFFF:
+        raise ProtocolError("retry hint %d out of u32 range" % retry_after_ms)
+    return encode_frame(FrameType.BUSY, _COUNT.pack(retry_after_ms), sequence)
+
+
+def decode_busy(payload: bytes) -> int:
+    """Parse a BUSY payload back to the retry-after hint (milliseconds)."""
+    if len(payload) != _COUNT.size:
+        raise ProtocolError("malformed BUSY payload")
     return _COUNT.unpack(payload)[0]

@@ -1,0 +1,465 @@
+"""Supervised concurrent server runtime for the selected-sum protocol.
+
+``serve_over_transport`` handles *one* connection; this module is the
+deployment wrapper around it that survives the open internet: many
+simultaneous clients, admission control, untrusted-input policy, and a
+graceful drain on shutdown.  The ROADMAP's north star is heavy traffic,
+and related work on private aggregation treats adversarial clients as
+the default — so the runtime assumes every peer may be slow, malicious,
+or both.
+
+Architecture (all plain threads, no extra dependencies):
+
+* an **accept loop** owns the listening socket.  Accepted connections
+  go into a *bounded* queue; when the queue is full — every worker busy
+  and the backlog occupied — the connection is *shed* with a typed BUSY
+  frame and closed instead of being left to time out.  BUSY is a
+  :class:`~repro.exceptions.ServerBusy` (a transient transport error)
+  on the client side, so :func:`~repro.spfe.session.run_resilient`
+  retries it under its normal backoff policy.
+* a **worker pool** of ``max_sessions`` threads runs one
+  :class:`~repro.spfe.session.ServerSession` per connection.  Each
+  connection gets a per-read deadline *and* an optional total
+  wall-clock budget (``connection_deadline_s``) so one slow-loris
+  client costs a bounded slice of one worker, never the pool.
+* every session is validated against a
+  :class:`~repro.spfe.validation.ServerPolicy`; violations answer a
+  typed ERROR frame and are counted, and the worker moves on to the
+  next connection — one malicious client never stops honest service.
+* **drain**: :meth:`SpfeServer.initiate_drain` (wired to SIGINT/SIGTERM
+  by :meth:`install_signal_handlers`) stops accepting, sheds anything
+  still queued, lets in-flight sessions finish under a drain deadline,
+  then force-closes stragglers.  :class:`ServerStats` counters are
+  queryable in-process at any time and summarised on shutdown.
+"""
+
+from __future__ import annotations
+
+import queue
+import signal
+import socket
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.datastore.database import ServerDatabase
+from repro.exceptions import (
+    ParameterError,
+    TransportError,
+    TransportTimeout,
+    ValidationError,
+)
+from repro.net import codec
+from repro.net.transport import DEFAULT_RECV_BYTES, SocketTransport
+from repro.spfe.session import ServerSession, SessionRegistry
+from repro.spfe.validation import ServerPolicy
+
+__all__ = ["ServerStats", "SpfeServer", "DEFAULT_DRAIN_DEADLINE_S"]
+
+DEFAULT_DRAIN_DEADLINE_S = 30.0
+
+#: how often blocking loops wake to check for drain (also the accept poll)
+_POLL_S = 0.1
+
+
+class ServerStats:
+    """Thread-safe per-server counters, queryable while serving.
+
+    ``sessions_served`` counts completed protocol runs; ``dropped`` is
+    transport-level losses (timeouts, resets, budget exhaustion);
+    ``shed`` is admission-control rejections (BUSY); ``rejected`` is
+    sessions answered with a typed ERROR, of which
+    ``validation_rejections`` failed a trust-boundary or policy check.
+    Byte counters aggregate the per-session accounting.
+    """
+
+    _FIELDS = (
+        "connections_accepted",
+        "sessions_served",
+        "sessions_dropped",
+        "sessions_shed",
+        "sessions_rejected",
+        "validation_rejections",
+        "bytes_in",
+        "bytes_out",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {name: 0 for name in self._FIELDS}
+
+    def add(self, name: str, amount: int = 1) -> int:
+        """Bump a counter; returns its new value."""
+        if name not in self._counts:
+            raise ParameterError("unknown counter %r" % name)
+        with self._lock:
+            self._counts[name] += amount
+            return self._counts[name]
+
+    def get(self, name: str) -> int:
+        """Read one counter."""
+        if name not in self._counts:
+            raise ParameterError("unknown counter %r" % name)
+        with self._lock:
+            return self._counts[name]
+
+    def snapshot(self) -> Dict[str, int]:
+        """A consistent copy of all counters."""
+        with self._lock:
+            return dict(self._counts)
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary (printed on shutdown)."""
+        snap = self.snapshot()
+        return (
+            "sessions: %d served, %d dropped, %d shed, %d rejected "
+            "(%d validation)\nbytes: %d in, %d out (%d connections)"
+            % (
+                snap["sessions_served"],
+                snap["sessions_dropped"],
+                snap["sessions_shed"],
+                snap["sessions_rejected"],
+                snap["validation_rejections"],
+                snap["bytes_in"],
+                snap["bytes_out"],
+                snap["connections_accepted"],
+            )
+        )
+
+
+class SpfeServer:
+    """Concurrent selected-sum server with admission control and drain.
+
+    Args:
+        database: the server-side data; shared read-only by all workers.
+        host/port: bind address (port 0 = ephemeral; see :attr:`port`).
+        policy: trust-boundary limits applied to every session; None
+            installs the default :class:`ServerPolicy` (pass an explicit
+            permissive policy to loosen).
+        registry: shared resume registry; None builds one sized by the
+            policy's registry budgets.
+        max_sessions: worker threads = maximum concurrent sessions.
+        accept_backlog: bounded queue of accepted-but-unstarted
+            connections; beyond it, connections are shed with BUSY.
+        read_timeout: per-read deadline for each connection (None = no
+            per-read deadline; strongly discouraged outside tests).
+        connection_deadline_s: optional total wall-clock budget per
+            connection; a client that is merely *slow* is cut off once
+            its budget is spent, freeing the worker.
+        max_queries: stop accepting and drain once this many sessions
+            have been *served to completion* (0 = unlimited).  Dropped,
+            shed, and rejected sessions do not consume the budget.
+        busy_retry_ms: retry-after hint carried in BUSY frames.
+        log: optional callable for one-line progress messages
+            (``out.write``-compatible; lines end with ``\\n``).
+    """
+
+    def __init__(
+        self,
+        database: ServerDatabase,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        policy: Optional[ServerPolicy] = None,
+        registry: Optional[SessionRegistry] = None,
+        max_sessions: int = 4,
+        accept_backlog: int = 8,
+        read_timeout: Optional[float] = 30.0,
+        connection_deadline_s: Optional[float] = None,
+        max_queries: int = 0,
+        busy_retry_ms: int = 250,
+        log: Optional[Callable[[str], object]] = None,
+    ) -> None:
+        if max_sessions < 1:
+            raise ParameterError("max_sessions must be positive")
+        if accept_backlog < 1:
+            raise ParameterError("accept_backlog must be positive")
+        if max_queries < 0:
+            raise ParameterError("max_queries must be non-negative")
+        self.database = database
+        self.host = host
+        self.policy = policy if policy is not None else ServerPolicy()
+        self.registry = (
+            registry
+            if registry is not None
+            else SessionRegistry.from_policy(self.policy)
+        )
+        self.max_sessions = max_sessions
+        self.accept_backlog = accept_backlog
+        self.read_timeout = read_timeout
+        self.connection_deadline_s = connection_deadline_s
+        self.max_queries = max_queries
+        self.busy_retry_ms = busy_retry_ms
+        self.stats = ServerStats()
+        self._log = log
+        self._requested_port = port
+        self._listener: Optional[socket.socket] = None
+        self._queue: "queue.Queue[Optional[Tuple[socket.socket, Tuple]]]" = (
+            queue.Queue(maxsize=accept_backlog)
+        )
+        self._accept_thread: Optional[threading.Thread] = None
+        self._workers: List[threading.Thread] = []
+        self._active_lock = threading.Lock()
+        self._active: Dict[int, SocketTransport] = {}
+        self._drain = threading.Event()
+        self._stopped = threading.Event()
+        self._finalize_lock = threading.Lock()
+        self._finalized = False
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "SpfeServer":
+        """Bind, then launch the accept loop and the worker pool."""
+        if self._started:
+            raise ParameterError("server already started")
+        self._listener = socket.create_server(
+            (self.host, self._requested_port), backlog=self.accept_backlog
+        )
+        self._listener.settimeout(_POLL_S)
+        self._started = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="spfe-accept", daemon=True
+        )
+        self._accept_thread.start()
+        for index in range(self.max_sessions):
+            worker = threading.Thread(
+                target=self._worker_loop, name="spfe-worker-%d" % index, daemon=True
+            )
+            worker.start()
+            self._workers.append(worker)
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves an ephemeral bind)."""
+        if self._listener is None:
+            raise ParameterError("server not started")
+        return self._listener.getsockname()[1]
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) pair."""
+        if self._listener is None:
+            raise ParameterError("server not started")
+        return self._listener.getsockname()[:2]
+
+    @property
+    def draining(self) -> bool:
+        """True once drain has been initiated."""
+        return self._drain.is_set()
+
+    @property
+    def stopped(self) -> bool:
+        """True once all threads have exited and sockets are closed."""
+        return self._stopped.is_set()
+
+    def initiate_drain(self) -> None:
+        """Begin graceful shutdown (non-blocking, signal-handler safe).
+
+        Stops accepting, sheds queued connections with BUSY, and lets
+        in-flight sessions run to completion.  Call :meth:`stop` or
+        :meth:`wait` to block until the drain finishes.
+        """
+        self._drain.set()
+
+    def install_signal_handlers(self) -> Callable[[], None]:
+        """Wire SIGINT/SIGTERM to :meth:`initiate_drain`.
+
+        Returns a zero-argument callable restoring the previous
+        handlers.  Must run on the main thread (a Python constraint).
+        """
+        previous = {}
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(
+                signum, lambda _sig, _frame: self.initiate_drain()
+            )
+        def restore() -> None:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+        return restore
+
+    def wait(self, drain_deadline_s: Optional[float] = None) -> None:
+        """Block until drain is initiated, then finish the shutdown.
+
+        The wait loop wakes periodically so signal handlers installed by
+        :meth:`install_signal_handlers` get a chance to run on the main
+        thread.
+        """
+        while not self._drain.wait(_POLL_S):
+            pass
+        self._finalize(drain_deadline_s)
+
+    def stop(self, drain_deadline_s: Optional[float] = None) -> None:
+        """Initiate drain and block until the server is fully stopped."""
+        self.initiate_drain()
+        self._finalize(drain_deadline_s)
+
+    def __enter__(self) -> "SpfeServer":
+        """Context-manager entry: start the server."""
+        return self.start() if not self._started else self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: drain and stop."""
+        self.stop()
+
+    def _finalize(self, drain_deadline_s: Optional[float]) -> None:
+        """Join threads under the drain deadline; force-close stragglers."""
+        with self._finalize_lock:
+            if self._finalized:
+                return
+            deadline = (
+                drain_deadline_s
+                if drain_deadline_s is not None
+                else DEFAULT_DRAIN_DEADLINE_S
+            )
+            if self._accept_thread is not None:
+                self._accept_thread.join(timeout=max(deadline, 1.0))
+            cutoff = time.monotonic() + deadline
+            for worker in self._workers:
+                worker.join(timeout=max(0.0, cutoff - time.monotonic()))
+            if any(worker.is_alive() for worker in self._workers):
+                # Drain deadline exceeded: cut the remaining sessions'
+                # sockets out from under them; their workers observe a
+                # transport error and exit as drops.
+                with self._active_lock:
+                    for transport in self._active.values():
+                        transport.close()
+                for worker in self._workers:
+                    worker.join(timeout=5.0)
+            if self._listener is not None:
+                try:
+                    self._listener.close()
+                except OSError:
+                    pass
+            self._finalized = True
+            self._stopped.set()
+
+    # -- accept loop --------------------------------------------------------
+
+    def _note(self, message: str) -> None:
+        if self._log is not None:
+            self._log(message + "\n")
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._drain.is_set():
+            try:
+                connection, peer = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed under us: treat as drain
+            self.stats.add("connections_accepted")
+            if self._drain.is_set():
+                self._shed(connection, peer)
+                break
+            try:
+                self._queue.put_nowait((connection, peer))
+            except queue.Full:
+                self._shed(connection, peer)
+        # Drain: refuse new connections at the TCP level, shed whatever
+        # was queued but never started, then release the workers.
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        while True:
+            try:
+                connection, peer = self._queue.get_nowait()  # type: ignore[misc]
+            except queue.Empty:
+                break
+            self._shed(connection, peer)
+        for _ in self._workers:
+            self._queue.put(None)
+
+    def _shed(self, connection: socket.socket, peer: Tuple) -> None:
+        """Refuse a connection with a typed BUSY frame (best effort)."""
+        try:
+            connection.settimeout(1.0)
+            connection.sendall(codec.encode_busy(self.busy_retry_ms))
+        except OSError:
+            pass
+        finally:
+            try:
+                connection.close()
+            except OSError:
+                pass
+        self.stats.add("sessions_shed")
+        self._note("shed %s: pool and backlog full" % (peer,))
+
+    # -- worker pool --------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            connection, peer = item
+            self._serve_connection(connection, peer)
+
+    def _budgeted_timeout(self, started: float) -> Optional[float]:
+        """The next read's deadline under the connection budget."""
+        if self.connection_deadline_s is None:
+            return self.read_timeout
+        remaining = self.connection_deadline_s - (time.monotonic() - started)
+        if remaining <= 0:
+            raise TransportTimeout(
+                "connection exceeded its %.1fs budget" % self.connection_deadline_s
+            )
+        if self.read_timeout is None:
+            return remaining
+        return min(self.read_timeout, remaining)
+
+    def _serve_connection(self, connection: socket.socket, peer: Tuple) -> None:
+        session = ServerSession(
+            self.database, registry=self.registry, policy=self.policy
+        )
+        transport = SocketTransport(connection, read_timeout=self.read_timeout)
+        key = id(transport)
+        with self._active_lock:
+            self._active[key] = transport
+        started = time.monotonic()
+        outcome = "detached"
+        detail = ""
+        try:
+            while True:
+                transport.set_read_timeout(self._budgeted_timeout(started))
+                data = transport.recv(DEFAULT_RECV_BYTES)
+                if not data:
+                    break  # peer closed; a resumable client will reconnect
+                reply = session.receive_bytes(data)
+                if reply:
+                    transport.send(reply)
+                if session.errored or session.finished:
+                    break
+        except TransportError as exc:
+            outcome = "dropped"
+            detail = str(exc)
+        finally:
+            transport.close()
+            with self._active_lock:
+                self._active.pop(key, None)
+        self.stats.add("bytes_in", session.bytes_received)
+        self.stats.add("bytes_out", session.bytes_sent)
+        if session.finished:
+            served = self.stats.add("sessions_served")
+            self._note(
+                "served %s: %d bytes in, %d out"
+                % (peer, session.bytes_received, session.bytes_sent)
+            )
+            if self.max_queries and served >= self.max_queries:
+                self.initiate_drain()
+        elif session.errored:
+            self.stats.add("sessions_rejected")
+            if isinstance(session.last_error, ValidationError):
+                self.stats.add("validation_rejections")
+            self._note("rejected %s: %s" % (peer, session.last_error))
+        elif outcome == "dropped":
+            self.stats.add("sessions_dropped")
+            self._note("dropped %s: %s" % (peer, detail))
+        else:
+            # Clean EOF before completion: the peer went away mid-run
+            # (it may resume on a later connection).
+            self.stats.add("sessions_dropped")
+            self._note("dropped %s: peer closed mid-session" % (peer,))

@@ -28,6 +28,7 @@ reconnect and continue from the last acknowledged chunk instead.
 
 from __future__ import annotations
 
+import select
 import socket
 import time
 from collections import deque
@@ -75,6 +76,16 @@ class Transport:
     def recv(self, max_bytes: int = DEFAULT_RECV_BYTES) -> bytes:
         """Return 1..max_bytes bytes, or ``b""`` on end-of-stream."""
         raise NotImplementedError
+
+    def recv_ready(self) -> bool:
+        """True when :meth:`recv` would return without blocking.
+
+        Lets a streaming sender notice an early reply (an ERROR or BUSY
+        frame from a server that rejected the session) before pushing
+        more data into a dead connection.  Transports that cannot tell
+        may return ``False``; callers treat this as best-effort.
+        """
+        return False
 
     def close(self) -> None:
         """Release the underlying resources (idempotent)."""
@@ -126,6 +137,18 @@ class SocketTransport(Transport):
             raise TransportError("connect to %s:%d failed: %s" % (host, port, exc)) from exc
         return cls(sock, read_timeout=read_timeout)
 
+    def set_read_timeout(self, read_timeout: Optional[float]) -> None:
+        """Re-arm the per-read deadline (used by per-connection budgets).
+
+        A server that grants each connection a total wall-clock budget
+        shrinks the read timeout as the budget drains, so the *sum* of
+        reads is bounded, not just each one.
+        """
+        if self._closed:
+            raise TransportError("set_read_timeout on closed transport")
+        self.read_timeout = read_timeout
+        self._sock.settimeout(read_timeout)
+
     def send(self, data: bytes) -> None:
         """``sendall`` with typed failures."""
         if self._closed:
@@ -137,6 +160,16 @@ class SocketTransport(Transport):
         except OSError as exc:
             raise TransportError("send failed: %s" % exc) from exc
         self.bytes_sent += len(data)
+
+    def recv_ready(self) -> bool:
+        """``select`` poll: data (or EOF/reset) already waiting?"""
+        if self._closed:
+            return False
+        try:
+            readable, _, _ = select.select([self._sock], [], [], 0)
+        except (OSError, ValueError):
+            return False
+        return bool(readable)
 
     def recv(self, max_bytes: int = DEFAULT_RECV_BYTES) -> bytes:
         """``recv`` with typed failures; ``b""`` means the peer closed."""
@@ -187,6 +220,14 @@ class MemoryTransport(Transport):
             raise TransportError("peer transport is closed")
         self._peer._inbox.append(bytes(data))
         self.bytes_sent += len(data)
+
+    def recv_ready(self) -> bool:
+        """Queued bytes (or a closed peer, i.e. instant EOF) waiting?"""
+        if self._closed:
+            return False
+        return bool(self._inbox) or (
+            self._peer is not None and self._peer._closed
+        )
 
     def recv(self, max_bytes: int = DEFAULT_RECV_BYTES) -> bytes:
         """Pop up to ``max_bytes`` from the inbox."""

@@ -51,6 +51,13 @@ from repro.spfe.statistics import (
 )
 from repro.spfe.table_client import PrivateTableClient
 from repro.spfe.tradeoff import PartialPrivacySumProtocol
+from repro.spfe.validation import (
+    ServerPolicy,
+    check_ciphertext,
+    check_hello,
+    check_public_key,
+    resume_state_bytes,
+)
 
 __all__ = [
     "BatchedSelectedSumProtocol",
@@ -79,6 +86,7 @@ __all__ = [
     "SERVER",
     "SelectedSumBase",
     "SelectedSumProtocol",
+    "ServerPolicy",
     "ServerSession",
     "SessionRegistry",
     "SquareRootPIRProtocol",
@@ -86,6 +94,10 @@ __all__ = [
     "SumRunResult",
     "YaoBaselineProtocol",
     "audit_client_privacy",
+    "check_ciphertext",
+    "check_hello",
+    "check_public_key",
+    "resume_state_bytes",
     "audit_database_privacy",
     "audit_result",
     "elementwise_product",

@@ -53,14 +53,24 @@ from repro.crypto.rng import RandomSource, as_random_source
 from repro.datastore.database import ServerDatabase
 from repro.exceptions import (
     ParameterError,
+    PolicyViolation,
     ProtocolError,
     RetryExhausted,
+    ServerBusy,
     SessionResumeError,
     TransportError,
+    ValidationError,
 )
 from repro.net import codec
 from repro.net.codec import Frame, FrameDecoder, FrameType
 from repro.net.transport import DEFAULT_RECV_BYTES, RetryPolicy, Transport
+from repro.spfe.validation import (
+    ServerPolicy,
+    check_ciphertext,
+    check_hello,
+    check_public_key,
+    resume_state_bytes,
+)
 
 __all__ = [
     "ClientSession",
@@ -234,8 +244,16 @@ class ClientSession:
 
     def _handle(self, frame: Frame) -> None:
         if frame.frame_type == FrameType.ERROR:
-            raise ProtocolError(
-                "server error: %s" % frame.payload.decode("utf-8", "replace")
+            code, message = codec.decode_error(frame.payload)
+            exc_type = {
+                codec.ERROR_CODE_POLICY: PolicyViolation,
+                codec.ERROR_CODE_VALIDATION: ValidationError,
+            }.get(code, ProtocolError)
+            raise exc_type("server error: %s" % message)
+        if frame.frame_type == FrameType.BUSY:
+            hint_ms = codec.decode_busy(frame.payload)
+            raise ServerBusy(
+                "server is shedding load (retry after %d ms)" % hint_ms
             )
         if frame.frame_type == FrameType.ACK:
             if not self._awaiting_ack:
@@ -264,6 +282,7 @@ class _ResumeState:
         "received",
         "chunks_received",
         "done",
+        "resident_bytes",
     )
 
     def __init__(self, key_bits: int, chunk_size: int, public_key: PaillierPublicKey) -> None:
@@ -274,33 +293,75 @@ class _ResumeState:
         self.received = 0
         self.chunks_received = 0
         self.done = False
+        #: what this state costs the registry's byte budget
+        self.resident_bytes = resume_state_bytes(key_bits)
 
 
 class SessionRegistry:
-    """Server-side store of resumable sessions, LRU-bounded.
+    """Server-side store of resumable sessions, LRU-bounded twice over.
 
     One registry serves one database; share it across connections so a
-    reconnecting client finds its half-finished session.  ``capacity``
-    bounds memory: least-recently-touched sessions are evicted, and an
-    evicted session simply restarts from scratch (the ACK tells the
-    client so) — resumption is an optimisation, never a correctness
-    requirement.
+    reconnecting client finds its half-finished session.  Two independent
+    bounds protect server memory: ``capacity`` caps the session *count*,
+    ``max_bytes`` caps the resident ciphertext *bytes* (a handful of
+    4096-bit sessions can outweigh dozens of 512-bit ones, so count alone
+    is not a memory bound).  Least-recently-touched sessions are evicted
+    first, and an evicted session simply restarts from scratch (the ACK
+    tells the client so) — resumption is an optimisation, never a
+    correctness requirement.
     """
 
-    def __init__(self, capacity: int = 64) -> None:
+    def __init__(
+        self, capacity: int = 64, max_bytes: Optional[int] = None
+    ) -> None:
         if capacity < 1:
             raise ParameterError("registry capacity must be positive")
+        if max_bytes is not None and max_bytes < 1:
+            raise ParameterError("registry byte budget must be positive")
         self.capacity = capacity
+        self.max_bytes = max_bytes
         self._states: "OrderedDict[bytes, _ResumeState]" = OrderedDict()
         self.evictions = 0
+        #: resident ciphertext bytes across all stored states
+        self.resident_bytes = 0
+
+    @classmethod
+    def from_policy(cls, policy: ServerPolicy) -> "SessionRegistry":
+        """Build a registry sized by a :class:`ServerPolicy`."""
+        return cls(
+            capacity=policy.max_registry_sessions,
+            max_bytes=policy.max_registry_bytes,
+        )
+
+    @staticmethod
+    def _state_bytes(state: _ResumeState) -> int:
+        # getattr so the registry stays usable with stand-in states in
+        # tests; real _ResumeState always carries resident_bytes.
+        return getattr(state, "resident_bytes", 0)
+
+    def _evict_lru(self) -> None:
+        _, evicted = self._states.popitem(last=False)
+        self.resident_bytes -= self._state_bytes(evicted)
+        self.evictions += 1
 
     def save(self, session_id: bytes, state: _ResumeState) -> None:
-        """Insert or refresh a session, evicting the LRU beyond capacity."""
+        """Insert or refresh a session, evicting LRU beyond either bound.
+
+        The newest session is never evicted on its own account: a state
+        larger than ``max_bytes`` by itself still resumes, it just has
+        the registry to itself.
+        """
+        previous = self._states.get(session_id)
+        if previous is not None:
+            self.resident_bytes -= self._state_bytes(previous)
         self._states[session_id] = state
+        self.resident_bytes += self._state_bytes(state)
         self._states.move_to_end(session_id)
         while len(self._states) > self.capacity:
-            self._states.popitem(last=False)
-            self.evictions += 1
+            self._evict_lru()
+        if self.max_bytes is not None:
+            while len(self._states) > 1 and self.resident_bytes > self.max_bytes:
+                self._evict_lru()
 
     def get(self, session_id: bytes) -> Optional[_ResumeState]:
         """Look up (and LRU-touch) a session; None when unknown/evicted."""
@@ -311,7 +372,9 @@ class SessionRegistry:
 
     def discard(self, session_id: bytes) -> None:
         """Forget a session if present."""
-        self._states.pop(session_id, None)
+        state = self._states.pop(session_id, None)
+        if state is not None:
+            self.resident_bytes -= self._state_bytes(state)
 
     def __len__(self) -> int:
         return len(self._states)
@@ -337,10 +400,15 @@ class ServerSession:
         self,
         database: ServerDatabase,
         registry: Optional[SessionRegistry] = None,
+        policy: Optional[ServerPolicy] = None,
     ) -> None:
         self.database = database
         self.registry = registry
-        self._decoder = FrameDecoder()
+        #: trust-boundary limits; None preserves the legacy permissive mode
+        self.policy = policy
+        self._decoder = FrameDecoder(
+            max_payload=policy.max_frame_payload if policy else None
+        )
         self._state = self._WAIT_HELLO
         self._key_bits = 0
         self._chunk_size = 0
@@ -355,24 +423,47 @@ class ServerSession:
         self.bytes_sent = 0
         #: True once a protocol violation has been answered with ERROR
         self.errored = False
+        #: the exception behind :attr:`errored`, for typed accounting
+        self.last_error: Optional[ProtocolError] = None
         #: chunk frames folded into the aggregate (duplicates excluded)
         self.chunk_frames_processed = 0
         #: every ciphertext seen, for transcript audits in tests
         self.ciphertext_log: List[int] = []
+
+    @staticmethod
+    def _error_code(exc: ProtocolError) -> int:
+        if isinstance(exc, PolicyViolation):
+            return codec.ERROR_CODE_POLICY
+        if isinstance(exc, ValidationError):
+            return codec.ERROR_CODE_VALIDATION
+        return codec.ERROR_CODE_PROTOCOL
 
     def receive_bytes(self, data: bytes) -> bytes:
         """Consume client bytes; returns reply bytes (possibly empty)."""
         self.bytes_received += len(data)
         out = bytearray()
         try:
+            if (
+                self.policy is not None
+                and self.bytes_received > self.policy.max_session_bytes
+            ):
+                raise PolicyViolation(
+                    "session exceeded its %d-byte inbound quota"
+                    % self.policy.max_session_bytes
+                )
             self._decoder.feed(data)
             for frame in self._decoder.frames():
                 self._peer_wire_version = frame.version
                 out.extend(self._handle(frame))
         except ProtocolError as exc:
             self.errored = True
-            error = codec.encode_frame(
-                FrameType.ERROR, str(exc).encode("utf-8"), self._reply_sequence()
+            self.last_error = exc
+            if self.registry is not None and self._session_id is not None:
+                # Never keep resume state for a session that violated the
+                # protocol: a rejected peer must restart, not resume.
+                self.registry.discard(self._session_id)
+            error = codec.encode_error(
+                str(exc), self._error_code(exc), self._reply_sequence()
             )
             self.bytes_sent += len(error)
             return bytes(error)
@@ -406,6 +497,10 @@ class ServerSession:
         key_bits, database_size, chunk_size, session_id = codec.decode_hello(
             frame.payload
         )
+        if self.policy is not None:
+            check_hello(key_bits, database_size, chunk_size, self.policy)
+        elif chunk_size < 1:
+            raise ProtocolError("chunk size must be positive")
         if database_size != len(self.database):
             raise ProtocolError(
                 "client assumes %d elements; this database has %d"
@@ -426,6 +521,8 @@ class ServerSession:
         n = codec.decode_public_key(frame.payload)
         if n.bit_length() > self._key_bits:
             raise ProtocolError("public key larger than announced")
+        if self.policy is not None:
+            check_public_key(n, self._key_bits)
         self._public_key = PaillierPublicKey(n)
         self._state = self._RECEIVING
         if self.registry is not None and self._session_id is not None:
@@ -481,8 +578,11 @@ class ServerSession:
         if self._received + len(ciphertexts) > len(self.database):
             raise ProtocolError("client sent more ciphertexts than elements")
         nsquare = self._public_key.nsquare
+        n = self._public_key.n
         for ct in ciphertexts:
-            if not 0 < ct < nsquare:
+            if self.policy is not None:
+                check_ciphertext(ct, n, nsquare)
+            elif not 0 < ct < nsquare:
                 raise ProtocolError("ciphertext outside Z*_{n^2}")
             value = self.database[self._received]
             if value:
@@ -553,6 +653,23 @@ def serve_over_transport(
     return session
 
 
+def _drain_early_replies(
+    client: ClientSession, transport: Transport, recv_bytes: int
+) -> None:
+    """Process anything the server already said while we were streaming.
+
+    A hardened server rejects a bad session (policy violation, invalid
+    key, load shed) while the client still has chunks in flight.
+    Reading eagerly between sends surfaces the typed ERROR or BUSY
+    frame instead of a broken pipe on the next write.
+    """
+    while client.result is None and transport.recv_ready():
+        data = transport.recv(recv_bytes)
+        if not data:
+            raise TransportError("server closed the connection mid-stream")
+        client.receive_bytes(data)
+
+
 def run_over_transport(
     client: ClientSession,
     transport: Transport,
@@ -561,6 +678,7 @@ def run_over_transport(
     """Run a client to completion over one connection (no reconnects)."""
     for outgoing in client.initial_bytes():
         transport.send(outgoing)
+        _drain_early_replies(client, transport, recv_bytes)
     while client.result is None:
         data = transport.recv(recv_bytes)
         if not data:
@@ -614,6 +732,7 @@ def run_resilient(
                 stream = client.initial_bytes()
             for outgoing in stream:
                 transport.send(outgoing)
+                _drain_early_replies(client, transport, recv_bytes)
             while client.result is None:
                 data = transport.recv(recv_bytes)
                 if not data:

@@ -286,3 +286,37 @@ class TestSerialization:
         data = pk.nsquare.to_bytes(33, "big")  # value == n^2 is out of range
         with pytest.raises(DecryptionError):
             pk.ciphertext_from_bytes(data)
+
+
+class TestUntrustedDeserialization:
+    """from_bytes/ciphertext_from_bytes face wire data: reject, not accept."""
+
+    def test_zero_ciphertext_rejected(self, keypair):
+        pk = keypair.public
+        with pytest.raises(DecryptionError):
+            pk.ciphertext_from_bytes(b"\x00" * 32)
+
+    def test_oversized_ciphertext_rejected(self, keypair):
+        pk = keypair.public
+        over = (pk.nsquare + 12345).to_bytes(33, "big")
+        with pytest.raises(DecryptionError):
+            pk.ciphertext_from_bytes(over)
+
+    @pytest.mark.parametrize("n", [0, 1])
+    def test_degenerate_modulus_rejected(self, n):
+        from repro.exceptions import KeyGenerationError
+
+        with pytest.raises(KeyGenerationError):
+            PaillierPublicKey.from_bytes(n.to_bytes(8, "big"))
+
+    def test_empty_key_serialization_rejected(self):
+        from repro.exceptions import KeyGenerationError
+
+        with pytest.raises(KeyGenerationError):
+            PaillierPublicKey.from_bytes(b"")
+
+    def test_honest_values_still_roundtrip(self, keypair):
+        pk = keypair.public
+        assert PaillierPublicKey.from_bytes(pk.to_bytes()) == pk
+        c = pk.encrypt_raw(5, DeterministicRandom("untrusted"))
+        assert pk.ciphertext_from_bytes(pk.ciphertext_to_bytes(c)) == c

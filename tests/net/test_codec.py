@@ -320,3 +320,64 @@ class TestFuzzDecoder:
             return
         for frame in decoded:
             assert frame.payload in payloads
+
+
+class TestTypedErrorPayload:
+    def test_roundtrip_with_code(self):
+        data = codec.encode_error("quota exceeded", codec.ERROR_CODE_POLICY, 0)
+        decoder = FrameDecoder()
+        decoder.feed(data)
+        (frame,) = decoder.frames()
+        assert frame.frame_type == FrameType.ERROR
+        code, message = codec.decode_error(frame.payload)
+        assert code == codec.ERROR_CODE_POLICY
+        assert message == "quota exceeded"
+
+    def test_untagged_payload_decodes_as_protocol_error(self):
+        code, message = codec.decode_error(b"plain old message")
+        assert code == codec.ERROR_CODE_PROTOCOL
+        assert message == "plain old message"
+
+    def test_unknown_code_rejected_on_both_sides(self):
+        with pytest.raises(ProtocolError):
+            codec.encode_error("x", 99)
+        with pytest.raises(ProtocolError):
+            codec.decode_error(bytes((0xEE, 99)) + b"x")
+
+
+class TestBusyFrame:
+    def test_roundtrip(self):
+        data = codec.encode_busy(250)
+        decoder = FrameDecoder()
+        decoder.feed(data)
+        (frame,) = decoder.frames()
+        assert frame.frame_type == FrameType.BUSY
+        assert codec.decode_busy(frame.payload) == 250
+
+    def test_hint_range_validated(self):
+        with pytest.raises(ProtocolError):
+            codec.encode_busy(-1)
+        with pytest.raises(ProtocolError):
+            codec.encode_busy(1 << 32)
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            codec.decode_busy(b"\x00")
+
+
+class TestDecoderPayloadCap:
+    def test_policy_cap_tighter_than_default(self):
+        decoder = FrameDecoder(max_payload=16)
+        decoder.feed(codec.encode_frame(FrameType.ERROR, b"x" * 17, 0))
+        with pytest.raises(ProtocolError):
+            list(decoder.frames())
+
+    def test_cap_allows_exact_size(self):
+        decoder = FrameDecoder(max_payload=16)
+        decoder.feed(codec.encode_frame(FrameType.ERROR, b"x" * 16, 0))
+        (frame,) = decoder.frames()
+        assert frame.payload == b"x" * 16
+
+    def test_nonpositive_cap_rejected(self):
+        with pytest.raises(ProtocolError):
+            FrameDecoder(max_payload=0)

@@ -342,3 +342,197 @@ class TestResume:
         assert len(registry) == 1
         with pytest.raises(Exception):
             SessionRegistry(capacity=0)
+
+
+class _FakeState:
+    """Stand-in resume state with an explicit byte footprint."""
+
+    def __init__(self, resident_bytes):
+        self.resident_bytes = resident_bytes
+
+
+class TestRegistryByteBudget:
+    def test_byte_budget_evicts_lru(self):
+        registry = SessionRegistry(capacity=100, max_bytes=1000)
+        a, b, c = b"a" * 16, b"b" * 16, b"c" * 16
+        registry.save(a, _FakeState(400))
+        registry.save(b, _FakeState(400))
+        assert registry.resident_bytes == 800
+        registry.save(c, _FakeState(400))  # 1200 > 1000: evict LRU (a)
+        assert a not in registry
+        assert b in registry and c in registry
+        assert registry.resident_bytes == 800
+        assert registry.evictions == 1
+
+    def test_single_oversized_state_is_kept(self):
+        # The newest session is never evicted on its own account.
+        registry = SessionRegistry(capacity=10, max_bytes=100)
+        big = b"x" * 16
+        registry.save(big, _FakeState(5000))
+        assert big in registry
+        assert registry.resident_bytes == 5000
+
+    def test_refresh_does_not_double_count(self):
+        registry = SessionRegistry(capacity=10, max_bytes=10_000)
+        sid = b"s" * 16
+        state = _FakeState(300)
+        for _ in range(5):
+            registry.save(sid, state)
+        assert registry.resident_bytes == 300
+
+    def test_discard_releases_bytes(self):
+        registry = SessionRegistry(capacity=10, max_bytes=10_000)
+        sid = b"s" * 16
+        registry.save(sid, _FakeState(300))
+        registry.discard(sid)
+        assert registry.resident_bytes == 0
+
+    def test_real_sessions_account_bytes(self, workload_bytes):
+        database, selection = workload_bytes
+        registry = SessionRegistry(capacity=8, max_bytes=1 << 20)
+        run_sessions_in_memory(
+            make_client(selection), ServerSession(database, registry=registry)
+        )
+        from repro.spfe.validation import resume_state_bytes
+
+        assert registry.resident_bytes == resume_state_bytes(128)
+
+    def test_bad_byte_budget_rejected(self):
+        with pytest.raises(Exception):
+            SessionRegistry(capacity=2, max_bytes=0)
+
+
+class TestServerPolicyEnforcement:
+    """ServerSession with a policy rejects hostile-but-well-formed input."""
+
+    def _policy(self, **kwargs):
+        from repro.spfe.validation import ServerPolicy
+
+        kwargs.setdefault("min_key_bits", 64)
+        return ServerPolicy(**kwargs)
+
+    def test_honest_run_unaffected_by_policy(self, workload_bytes):
+        database, selection = workload_bytes
+        server = ServerSession(database, policy=self._policy())
+        value = run_sessions_in_memory(make_client(selection), server)
+        assert value == database.select_sum(selection)
+        assert not server.errored
+
+    def test_out_of_policy_key_bits_rejected(self, workload_bytes):
+        from repro.exceptions import PolicyViolation
+
+        database, selection = workload_bytes
+        server = ServerSession(
+            database, policy=self._policy(min_key_bits=256)
+        )
+        client = make_client(selection)  # 128-bit key
+        with pytest.raises(PolicyViolation):
+            run_sessions_in_memory(client, server)
+        assert isinstance(server.last_error, PolicyViolation)
+
+    def test_even_modulus_rejected(self, workload_bytes):
+        from repro.exceptions import ValidationError
+        from repro.net import codec
+
+        database, _ = workload_bytes
+        server = ServerSession(database, policy=self._policy())
+        reply = server.receive_bytes(
+            codec.encode_hello(128, len(database), 8, b"\1" * 16, 0)
+        )
+        assert reply == b""
+        reply = server.receive_bytes(
+            codec.encode_public_key(1 << 126, 128, 0)
+        )
+        assert server.errored
+        assert isinstance(server.last_error, ValidationError)
+        code, _message = codec.decode_error(
+            next(iter(_decode_frames(reply))).payload
+        )
+        assert code == codec.ERROR_CODE_VALIDATION
+
+    def test_non_coprime_ciphertext_rejected(self, workload_bytes):
+        from repro.exceptions import ValidationError
+        from repro.net import codec
+
+        database, selection = workload_bytes
+        client = make_client(selection, chunk_size=1)
+        server = ServerSession(database, policy=self._policy())
+        stream = client.initial_bytes()
+        server.receive_bytes(next(stream))  # HELLO
+        server.receive_bytes(next(stream))  # PUBLIC_KEY
+        # c = n is in range but shares every factor with the modulus.
+        poisoned = codec.encode_ciphertext_chunk(
+            [client.public_key.n], 128, 0
+        )
+        server.receive_bytes(poisoned)
+        assert server.errored
+        assert isinstance(server.last_error, ValidationError)
+
+    def test_session_byte_quota_enforced(self, workload_bytes):
+        from repro.exceptions import PolicyViolation
+
+        database, selection = workload_bytes
+        server = ServerSession(
+            database,
+            policy=self._policy(
+                max_session_bytes=64, max_frame_payload=64
+            ),
+        )
+        client = make_client(selection)
+        with pytest.raises(PolicyViolation):
+            run_sessions_in_memory(client, server)
+
+    def test_errored_session_loses_resume_state(self, workload_bytes):
+        """A rejected peer must restart, never resume poisoned state."""
+        from repro.net import codec
+
+        database, selection = workload_bytes
+        registry = SessionRegistry()
+        client = make_client(selection, chunk_size=1)
+        server = ServerSession(
+            database, registry=registry, policy=self._policy()
+        )
+        stream = client.initial_bytes()
+        server.receive_bytes(next(stream))
+        server.receive_bytes(next(stream))
+        assert client.session_id in registry
+        server.receive_bytes(
+            codec.encode_ciphertext_chunk([client.public_key.n], 128, 0)
+        )
+        assert server.errored
+        assert client.session_id not in registry
+
+    def test_typed_error_surfaces_client_side(self, workload_bytes):
+        from repro.exceptions import PolicyViolation
+
+        database, selection = workload_bytes
+        server = ServerSession(
+            database, policy=self._policy(min_key_bits=256)
+        )
+        client = make_client(selection)
+        with pytest.raises(PolicyViolation):
+            run_sessions_in_memory(client, server)
+
+
+class TestClientBusyHandling:
+    def test_busy_frame_raises_server_busy(self, workload_bytes):
+        from repro.exceptions import ServerBusy
+        from repro.net import codec
+
+        _, selection = workload_bytes
+        client = make_client(selection)
+        with pytest.raises(ServerBusy):
+            client.receive_bytes(codec.encode_busy(100))
+
+    def test_server_busy_is_a_transport_error(self):
+        from repro.exceptions import ServerBusy, TransportError
+
+        assert issubclass(ServerBusy, TransportError)
+
+
+def _decode_frames(data):
+    from repro.net.codec import FrameDecoder
+
+    decoder = FrameDecoder()
+    decoder.feed(data)
+    return list(decoder.frames())

@@ -207,9 +207,10 @@ class TestServeQuery:
         assert "private sum of 3 elements: %d" % expected in output
         assert "served" in server_out.getvalue()
 
-    def test_serve_drops_silent_peer_instead_of_hanging(self, tmp_path):
+    def test_serve_drops_silent_peer_without_spending_budget(self, tmp_path):
         """A client that connects and says nothing hits the read
-        deadline: the server reports a typed drop and exits cleanly."""
+        deadline and is dropped — and the drop does NOT consume the
+        --queries budget: an honest query afterwards still completes."""
         import io
         import socket
         import threading
@@ -240,10 +241,24 @@ class TestServeQuery:
             time.sleep(0.02)
 
         silent = socket.create_connection(("127.0.0.1", port))
-        server_thread.join(timeout=10)
+        for _ in range(200):
+            if "dropped" in server_out.getvalue():
+                break
+            time.sleep(0.02)
         silent.close()
-        assert not server_thread.is_alive()
         assert "dropped" in server_out.getvalue()
+        # The budget is still intact: one honest query completes and
+        # only then does the server drain and exit.
+        code, output = run_cli(
+            "query", "--port", str(port), "--n", "10",
+            "--select", "0,3", "--key-bits", "128",
+        )
+        assert code == 0, output
+        server_thread.join(timeout=10)
+        assert not server_thread.is_alive()
+        out_text = server_out.getvalue()
+        assert "served" in out_text
+        assert "1 served" in out_text and "1 dropped" in out_text
 
     def test_query_retries_are_bounded_and_typed(self):
         """With nothing listening, query fails fast with exit code 2
