@@ -107,9 +107,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--port", type=int, default=0, help="0 = ephemeral")
     serve_cmd.add_argument(
         "--queries", type=int, default=1,
-        help="completed queries to serve before draining; dropped or "
-        "rejected connections do not consume the budget (0 = serve until "
-        "interrupted)",
+        help="completed queries to serve before draining (0 = serve "
+        "until interrupted); admission is gated on the budget, so "
+        "connections beyond served + in-flight are shed with BUSY, and "
+        "dropped or rejected connections release their slot instead of "
+        "consuming it — the server exits after a success, not after the "
+        "first failed connection",
     )
     serve_cmd.add_argument("--seed", default="cli")
     serve_cmd.add_argument(

@@ -421,13 +421,19 @@ def decode_error(payload: bytes) -> Tuple[int, str]:
     """Parse an ERROR payload into (code, message).
 
     Untagged payloads (no 0xEE magic — pre-typed-error peers) decode as
-    ``(ERROR_CODE_PROTOCOL, message)``.
+    ``(ERROR_CODE_PROTOCOL, message)``.  A 0xEE-tagged payload whose
+    code byte is *unknown* also degrades to the untagged path: it is
+    either a newer peer's error code (which must not hard-fail an old
+    client) or a legacy UTF-8 message that merely starts with 0xEE (the
+    lead byte of U+E000..U+EFFF), and in both cases the whole payload is
+    the best available message.
     """
-    if len(payload) >= 2 and payload[0] == _ERROR_MAGIC:
-        code = payload[1]
-        if code not in _KNOWN_ERROR_CODES:
-            raise ProtocolError("unknown error code %d" % code)
-        return code, payload[2:].decode("utf-8", "replace")
+    if (
+        len(payload) >= 2
+        and payload[0] == _ERROR_MAGIC
+        and payload[1] in _KNOWN_ERROR_CODES
+    ):
+        return payload[1], payload[2:].decode("utf-8", "replace")
     return ERROR_CODE_PROTOCOL, payload.decode("utf-8", "replace")
 
 

@@ -146,9 +146,16 @@ class SpfeServer:
         connection_deadline_s: optional total wall-clock budget per
             connection; a client that is merely *slow* is cut off once
             its budget is spent, freeing the worker.
-        max_queries: stop accepting and drain once this many sessions
-            have been *served to completion* (0 = unlimited).  Dropped,
-            shed, and rejected sessions do not consume the budget.
+        max_queries: query budget (0 = unlimited).  Admission is gated
+            on it — once served + in-flight sessions reach the budget,
+            further connections are shed with BUSY, so the server never
+            *starts* more work than the budget allows — and the server
+            drains once this many sessions have been *served to
+            completion*.  Dropped, shed, and rejected sessions release
+            their slot instead of consuming the budget, so with
+            ``max_queries=1`` the server keeps accepting retries until
+            one query actually succeeds (it does not exit after the
+            first failed connection, as the pre-concurrency server did).
         busy_retry_ms: retry-after hint carried in BUSY frames.
         log: optional callable for one-line progress messages
             (``out.write``-compatible; lines end with ``\\n``).
@@ -201,6 +208,9 @@ class SpfeServer:
         self._workers: List[threading.Thread] = []
         self._active_lock = threading.Lock()
         self._active: Dict[int, SocketTransport] = {}
+        self._budget_lock = threading.Lock()
+        #: admitted-but-unfinished sessions counted against max_queries
+        self._in_flight = 0
         self._drain = threading.Event()
         self._stopped = threading.Event()
         self._finalize_lock = threading.Lock()
@@ -341,6 +351,29 @@ class SpfeServer:
         if self._log is not None:
             self._log(message + "\n")
 
+    def _admit_query_budget(self) -> bool:
+        """Reserve a max_queries slot; False when the budget is spent.
+
+        The budget counts served plus in-flight sessions, so admission
+        stops as soon as enough work to satisfy the budget has *started*
+        — extra clients are shed with BUSY and can retry, and a slot is
+        released if its session drops or is rejected.
+        """
+        if not self.max_queries:
+            return True
+        with self._budget_lock:
+            served = self.stats.get("sessions_served")
+            if served + self._in_flight >= self.max_queries:
+                return False
+            self._in_flight += 1
+            return True
+
+    def _release_query_budget(self) -> None:
+        if not self.max_queries:
+            return
+        with self._budget_lock:
+            self._in_flight -= 1
+
     def _accept_loop(self) -> None:
         assert self._listener is not None
         while not self._drain.is_set():
@@ -352,11 +385,15 @@ class SpfeServer:
                 break  # listener closed under us: treat as drain
             self.stats.add("connections_accepted")
             if self._drain.is_set():
-                self._shed(connection, peer)
+                self._shed(connection, peer, "draining")
                 break
+            if not self._admit_query_budget():
+                self._shed(connection, peer, "query budget exhausted")
+                continue
             try:
                 self._queue.put_nowait((connection, peer))
             except queue.Full:
+                self._release_query_budget()
                 self._shed(connection, peer)
         # Drain: refuse new connections at the TCP level, shed whatever
         # was queued but never started, then release the workers.
@@ -369,11 +406,17 @@ class SpfeServer:
                 connection, peer = self._queue.get_nowait()  # type: ignore[misc]
             except queue.Empty:
                 break
-            self._shed(connection, peer)
+            self._release_query_budget()
+            self._shed(connection, peer, "draining")
         for _ in self._workers:
             self._queue.put(None)
 
-    def _shed(self, connection: socket.socket, peer: Tuple) -> None:
+    def _shed(
+        self,
+        connection: socket.socket,
+        peer: Tuple,
+        reason: str = "pool and backlog full",
+    ) -> None:
         """Refuse a connection with a typed BUSY frame (best effort)."""
         try:
             connection.settimeout(1.0)
@@ -386,7 +429,7 @@ class SpfeServer:
             except OSError:
                 pass
         self.stats.add("sessions_shed")
-        self._note("shed %s: pool and backlog full" % (peer,))
+        self._note("shed %s: %s" % (peer, reason))
 
     # -- worker pool --------------------------------------------------------
 
@@ -396,7 +439,23 @@ class SpfeServer:
             if item is None:
                 return
             connection, peer = item
-            self._serve_connection(connection, peer)
+            try:
+                self._serve_connection(connection, peer)
+            except Exception as exc:  # noqa: BLE001
+                # A bug in session handling must cost one connection,
+                # never a worker: a silently shrinking pool turns the
+                # server into a BUSY-shedding brick while looking
+                # healthy from the outside.
+                self.stats.add("sessions_dropped")
+                self._note("dropped %s: internal error: %r" % (peer, exc))
+                try:
+                    connection.close()
+                except OSError:
+                    pass
+            finally:
+                # Released after _serve_connection bumps sessions_served,
+                # so the budget check never sees a gap between the two.
+                self._release_query_budget()
 
     def _budgeted_timeout(self, started: float) -> Optional[float]:
         """The next read's deadline under the connection budget."""

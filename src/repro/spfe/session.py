@@ -39,6 +39,7 @@ sessions are fixed to :class:`~repro.crypto.paillier.PaillierScheme`.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
@@ -272,7 +273,15 @@ class ClientSession:
 
 
 class _ResumeState:
-    """Everything the server must keep to resume one session."""
+    """Everything the server must keep to resume one session.
+
+    Sessions never share a live state object: what a
+    :class:`ServerSession` mutates is always its private copy, and what
+    sits in the :class:`SessionRegistry` is always a frozen
+    :meth:`snapshot` of one — so a client that reconnects while its old
+    connection is still being served can never observe (or double-fold
+    into) a state another thread is mid-way through mutating.
+    """
 
     __slots__ = (
         "key_bits",
@@ -296,6 +305,16 @@ class _ResumeState:
         #: what this state costs the registry's byte budget
         self.resident_bytes = resume_state_bytes(key_bits)
 
+    def snapshot(self) -> "_ResumeState":
+        """An independent copy (the public key is shared — it is never
+        mutated)."""
+        dup = _ResumeState(self.key_bits, self.chunk_size, self.public_key)
+        dup.aggregate = self.aggregate
+        dup.received = self.received
+        dup.chunks_received = self.chunks_received
+        dup.done = self.done
+        return dup
+
 
 class SessionRegistry:
     """Server-side store of resumable sessions, LRU-bounded twice over.
@@ -309,6 +328,13 @@ class SessionRegistry:
     first, and an evicted session simply restarts from scratch (the ACK
     tells the client so) — resumption is an optimisation, never a
     correctness requirement.
+
+    The registry is thread-safe: one instance is shared by every worker
+    of a concurrent :class:`~repro.net.server.SpfeServer`, so all access
+    to the LRU map and the byte accounting happens under an internal
+    lock.  Stored states are treated as frozen — sessions save
+    :meth:`_ResumeState.snapshot` copies and copy again on resume — so
+    an entry read under the lock stays consistent after it is released.
     """
 
     def __init__(
@@ -320,6 +346,7 @@ class SessionRegistry:
             raise ParameterError("registry byte budget must be positive")
         self.capacity = capacity
         self.max_bytes = max_bytes
+        self._lock = threading.Lock()
         self._states: "OrderedDict[bytes, _ResumeState]" = OrderedDict()
         self.evictions = 0
         #: resident ciphertext bytes across all stored states
@@ -351,36 +378,44 @@ class SessionRegistry:
         larger than ``max_bytes`` by itself still resumes, it just has
         the registry to itself.
         """
-        previous = self._states.get(session_id)
-        if previous is not None:
-            self.resident_bytes -= self._state_bytes(previous)
-        self._states[session_id] = state
-        self.resident_bytes += self._state_bytes(state)
-        self._states.move_to_end(session_id)
-        while len(self._states) > self.capacity:
-            self._evict_lru()
-        if self.max_bytes is not None:
-            while len(self._states) > 1 and self.resident_bytes > self.max_bytes:
+        with self._lock:
+            previous = self._states.get(session_id)
+            if previous is not None:
+                self.resident_bytes -= self._state_bytes(previous)
+            self._states[session_id] = state
+            self.resident_bytes += self._state_bytes(state)
+            self._states.move_to_end(session_id)
+            while len(self._states) > self.capacity:
                 self._evict_lru()
+            if self.max_bytes is not None:
+                while (
+                    len(self._states) > 1
+                    and self.resident_bytes > self.max_bytes
+                ):
+                    self._evict_lru()
 
     def get(self, session_id: bytes) -> Optional[_ResumeState]:
         """Look up (and LRU-touch) a session; None when unknown/evicted."""
-        state = self._states.get(session_id)
-        if state is not None:
-            self._states.move_to_end(session_id)
-        return state
+        with self._lock:
+            state = self._states.get(session_id)
+            if state is not None:
+                self._states.move_to_end(session_id)
+            return state
 
     def discard(self, session_id: bytes) -> None:
         """Forget a session if present."""
-        state = self._states.pop(session_id, None)
-        if state is not None:
-            self.resident_bytes -= self._state_bytes(state)
+        with self._lock:
+            state = self._states.pop(session_id, None)
+            if state is not None:
+                self.resident_bytes -= self._state_bytes(state)
 
     def __len__(self) -> int:
-        return len(self._states)
+        with self._lock:
+            return len(self._states)
 
     def __contains__(self, session_id: bytes) -> bool:
-        return session_id in self._states
+        with self._lock:
+            return session_id in self._states
 
 
 class ServerSession:
@@ -527,21 +562,28 @@ class ServerSession:
         self._state = self._RECEIVING
         if self.registry is not None and self._session_id is not None:
             # Only register once the key is known: a pre-key session has
-            # nothing worth resuming, so RESUME answers "restart".
+            # nothing worth resuming, so RESUME answers "restart".  The
+            # registry holds a frozen snapshot; this session keeps (and
+            # mutates) its own private copy.
             self._resume_state = _ResumeState(
                 self._key_bits, self._chunk_size, self._public_key
             )
-            self.registry.save(self._session_id, self._resume_state)
+            self.registry.save(self._session_id, self._resume_state.snapshot())
         return b""
 
     def _on_resume(self, frame: Frame) -> bytes:
         if self._state != self._WAIT_HELLO:
             raise ProtocolError("RESUME must be the first frame of a connection")
         session_id = codec.decode_resume(frame.payload)
-        state = self.registry.get(session_id) if self.registry is not None else None
-        if state is None:
+        entry = self.registry.get(session_id) if self.registry is not None else None
+        if entry is None:
             # Unknown or evicted: tell the client to start over.
             return codec.encode_ack(codec.RESUME_UNKNOWN, self._reply_sequence())
+        # Copy-on-resume: work on a private copy so a second connection
+        # resuming the same id (an honest client whose old read timed
+        # out, reconnecting while the stale connection is still being
+        # served) never shares mutable state with this one.
+        state = entry.snapshot()
         self._session_id = session_id
         self._resume_state = state
         self._key_bits = state.key_bits
@@ -601,7 +643,11 @@ class ServerSession:
             state.chunks_received = self._chunks_received
             state.done = done
             if self._session_id is not None and self.registry is not None:
-                self.registry.save(self._session_id, state)
+                # Publish a frozen snapshot: registry entries are never
+                # mutated in place, so a concurrent resume always reads
+                # a self-consistent (aggregate, received) pair and can
+                # never double-fold a chunk.
+                self.registry.save(self._session_id, state.snapshot())
         if done:
             self._state = self._DONE
             return codec.encode_result(

@@ -338,11 +338,25 @@ class TestTypedErrorPayload:
         assert code == codec.ERROR_CODE_PROTOCOL
         assert message == "plain old message"
 
-    def test_unknown_code_rejected_on_both_sides(self):
+    def test_unknown_code_rejected_by_encoder(self):
         with pytest.raises(ProtocolError):
             codec.encode_error("x", 99)
-        with pytest.raises(ProtocolError):
-            codec.decode_error(bytes((0xEE, 99)) + b"x")
+
+    def test_unknown_code_degrades_to_untagged_decode(self):
+        """A future peer's new error code must not hard-fail old
+        clients; the payload decodes as a generic protocol error."""
+        code, message = codec.decode_error(bytes((0xEE, 99)) + b"x")
+        assert code == codec.ERROR_CODE_PROTOCOL
+        assert message  # best-effort text, never an exception
+
+    def test_legacy_payload_starting_with_magic_byte(self):
+        """U+E000..U+EFFF encode with a 0xEE lead byte; an untagged
+        legacy message starting with one must decode verbatim."""
+        text = "\ue000 legacy oops"
+        assert text.encode("utf-8")[0] == 0xEE
+        code, message = codec.decode_error(text.encode("utf-8"))
+        assert code == codec.ERROR_CODE_PROTOCOL
+        assert message == text
 
 
 class TestBusyFrame:

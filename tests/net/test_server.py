@@ -168,7 +168,88 @@ class TestServing:
             assert server.stats.get("sessions_rejected") == 1
 
 
+class TestWorkerSupervision:
+    def test_worker_survives_internal_error(self, workload, monkeypatch):
+        """A bug while serving one connection costs that connection,
+        never the worker: with max_sessions=1 a dead worker would hang
+        every later client, so the follow-up query proves survival."""
+        database, selection = workload
+        original = SpfeServer._serve_connection
+        fired = []
+
+        def buggy_once(self, connection, peer):
+            if not fired:
+                fired.append(peer)
+                raise RuntimeError("injected session-handling bug")
+            return original(self, connection, peer)
+
+        monkeypatch.setattr(SpfeServer, "_serve_connection", buggy_once)
+        server = SpfeServer(
+            database, max_sessions=1, read_timeout=READ_TIMEOUT
+        ).start()
+        try:
+            crash = socket.create_connection(("127.0.0.1", server.port))
+            for _ in range(100):
+                if server.stats.get("sessions_dropped") >= 1:
+                    break
+                time.sleep(0.02)
+            crash.close()
+            assert server.stats.get("sessions_dropped") >= 1
+            client = make_client(selection, seed="after-crash")
+            value = run_resilient(client, lambda: connect(server.port))
+            assert value == database.select_sum(selection)
+        finally:
+            server.stop(drain_deadline_s=5.0)
+
+
 class TestAdmissionControl:
+    def test_query_budget_gates_admission(self, workload):
+        """With max_queries=1, a second connection is shed with BUSY
+        while the first is in flight (the budget caps started work, not
+        just completed work), and a dropped connection releases its
+        slot so a retry can still succeed."""
+        database, selection = workload
+        server = SpfeServer(
+            database,
+            max_sessions=4,
+            accept_backlog=8,
+            read_timeout=READ_TIMEOUT,
+            max_queries=1,
+        ).start()
+        try:
+            holder = socket.create_connection(("127.0.0.1", server.port))
+            time.sleep(0.15)  # let the accept loop admit it
+            probe = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=2.0
+            )
+            probe.settimeout(5.0)
+            decoder = FrameDecoder()
+            frame = None
+            while frame is None:
+                data = probe.recv(4096)
+                if not data:
+                    break
+                decoder.feed(data)
+                for candidate in decoder.frames():
+                    frame = candidate
+                    break
+            assert frame is not None and frame.frame_type == FrameType.BUSY
+            probe.close()
+            holder.close()  # dropped mid-session: the slot is released
+            client = make_client(selection, seed="budget")
+            value = run_resilient(
+                client,
+                lambda: connect(server.port),
+                policy=RetryPolicy(max_attempts=8, base_delay_s=0.05),
+            )
+            assert value == database.select_sum(selection)
+            server.wait(drain_deadline_s=10.0)
+            assert server.stats.get("sessions_served") == 1
+            assert server.stats.get("sessions_shed") >= 1
+        finally:
+            server.stop(drain_deadline_s=5.0)
+
+
     def test_saturated_pool_sheds_with_busy(self, workload):
         """Workers and backlog all occupied: the next connection gets a
         typed BUSY frame instead of a hang."""

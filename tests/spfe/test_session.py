@@ -1,6 +1,7 @@
 """Tests for the deployable byte-stream sessions (incl. real sockets)."""
 
 import socket
+import threading
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -400,6 +401,83 @@ class TestRegistryByteBudget:
     def test_bad_byte_budget_rejected(self):
         with pytest.raises(Exception):
             SessionRegistry(capacity=2, max_bytes=0)
+
+
+class TestConcurrentRegistry:
+    """One registry is shared by every worker of a concurrent server."""
+
+    def test_registry_survives_concurrent_hammering(self):
+        """save/get/discard from many threads must neither raise (the
+        unlocked OrderedDict KeyError race) nor let the byte accounting
+        drift from the resident states."""
+        registry = SessionRegistry(capacity=8, max_bytes=2_000)
+        sids = [bytes([i]) * 16 for i in range(16)]
+        errors = []
+
+        def hammer(worker):
+            try:
+                for step in range(400):
+                    sid = sids[(worker * 7 + step) % len(sids)]
+                    op = (worker + step) % 3
+                    if op == 0:
+                        registry.save(sid, _FakeState(100 + step % 3))
+                    elif op == 1:
+                        registry.get(sid)
+                    else:
+                        registry.discard(sid)
+            except Exception as exc:  # pragma: no cover — the bug itself
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert registry.resident_bytes == sum(
+            state.resident_bytes for state in registry._states.values()
+        )
+
+    def test_resume_state_is_copied_not_shared(self, workload_bytes):
+        """A client whose read timed out reconnects and resumes while
+        its old connection is still folding buffered chunks; the two
+        server sessions must never share a mutable state object, or the
+        stale one corrupts the live one's aggregate."""
+        database, selection = workload_bytes
+        registry = SessionRegistry()
+        client = make_client(selection, chunk_size=9)
+
+        server1 = ServerSession(database, registry=registry)
+        stream = client.initial_bytes()
+        server1.receive_bytes(next(stream))  # HELLO
+        server1.receive_bytes(next(stream))  # PUBLIC_KEY
+        chunk_frames = [next(stream) for _ in range(4)]
+        stream.close()
+        for data in chunk_frames[:3]:
+            server1.receive_bytes(data)
+
+        # Resume on a fresh connection while the old one is still live.
+        server2 = ServerSession(database, registry=registry)
+        client.receive_bytes(server2.receive_bytes(client.resume_request()))
+        assert client.resume_ready
+
+        # Registry entries are frozen snapshots: neither live session
+        # holds the stored object (publish-snapshot + copy-on-resume).
+        entry = registry.get(client.session_id)
+        assert entry is not server1._resume_state
+        assert entry is not server2._resume_state
+        assert server1._resume_state is not server2._resume_state
+
+        # The stale connection drains its buffered chunk *after* the
+        # resume; with shared state this would fold chunk 3 into the
+        # aggregate the resumed session is about to fold it into again.
+        server1.receive_bytes(chunk_frames[3])
+
+        drive(client.resume_bytes(), server2, client)
+        assert client.result == database.select_sum(selection)
+        assert server2.chunk_frames_processed == client.total_chunks - 3
 
 
 class TestServerPolicyEnforcement:
