@@ -67,6 +67,16 @@ def build_parser() -> argparse.ArgumentParser:
     sum_cmd.add_argument("--batch-size", type=int, default=100)
     sum_cmd.add_argument("--clients", type=int, default=3)
     sum_cmd.add_argument("--seed", default="cli")
+    sum_cmd.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the crypto kernels under --real "
+        "(1 = in-process serial)",
+    )
+    sum_cmd.add_argument(
+        "--no-multiexp", action="store_true",
+        help="disable the simultaneous-multiexp aggregation kernel "
+        "(naive per-ciphertext pow; for comparison)",
+    )
 
     est_cmd = commands.add_parser("estimate", help="predict a query's cost")
     est_cmd.add_argument("--n", type=int, required=True)
@@ -147,6 +157,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-key-bits", type=int, default=64,
         help="smallest client Paillier modulus accepted (policy knob)",
     )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the aggregation kernels "
+        "(1 = in-process serial)",
+    )
+    serve_cmd.add_argument(
+        "--no-multiexp", action="store_true",
+        help="fold chunks with naive per-ciphertext pow instead of the "
+        "simultaneous-multiexp kernel",
+    )
 
     query_cmd = commands.add_parser(
         "query", help="query a repro server over TCP"
@@ -181,7 +201,7 @@ def _environment(name: str):
     return {"short": short_distance, "long": long_distance, "wireless": wireless}[name]
 
 
-def _protocol(name: str, context, args):
+def _protocol(name: str, context, args, engine=None):
     from repro.spfe import (
         BatchedSelectedSumProtocol,
         CombinedSelectedSumProtocol,
@@ -195,7 +215,7 @@ def _protocol(name: str, context, args):
     if name == "batched":
         return BatchedSelectedSumProtocol(context, batch_size=args.batch_size)
     if name == "preprocessed":
-        return PreprocessedSelectedSumProtocol(context)
+        return PreprocessedSelectedSumProtocol(context, engine=engine)
     if name == "combined":
         return CombinedSelectedSumProtocol(context, batch_size=args.batch_size)
     return MultiClientSelectedSumProtocol(context, num_clients=args.clients)
@@ -248,14 +268,27 @@ def cmd_sum(args, out) -> int:
     environment = _environment(args.env)
     mode = "measured" if args.real else "modelled"
     scheme = None
+    engine = None
     if args.real:
         from repro.crypto.paillier import PaillierScheme
 
-        scheme = PaillierScheme()
+        if args.workers > 1:
+            from repro.crypto.engine import CryptoEngine
+
+            engine = CryptoEngine(
+                workers=args.workers, use_multiexp=not args.no_multiexp
+            )
+        scheme = PaillierScheme(engine=engine, use_multiexp=not args.no_multiexp)
     context = environment.context(
         key_bits=args.key_bits, seed=args.seed, scheme=scheme, mode=mode
     )
-    result = _protocol(args.protocol, context, args).run(database, selection)
+    try:
+        result = _protocol(args.protocol, context, args, engine=engine).run(
+            database, selection
+        )
+    finally:
+        if engine is not None:
+            engine.close()
     result.verify(database.select_sum(selection))
 
     out.write("sum of %d selected elements: %d\n" % (result.m, result.value))
@@ -360,6 +393,13 @@ def cmd_serve(args, out) -> int:
     policy = ServerPolicy(
         min_key_bits=args.min_key_bits, max_key_bits=args.max_key_bits
     )
+    engine = None
+    if args.workers > 1 or args.no_multiexp:
+        from repro.crypto.engine import CryptoEngine
+
+        engine = CryptoEngine(
+            workers=max(1, args.workers), use_multiexp=not args.no_multiexp
+        )
     server = SpfeServer(
         database,
         host=args.host,
@@ -370,6 +410,7 @@ def cmd_serve(args, out) -> int:
         read_timeout=args.timeout or None,
         connection_deadline_s=args.session_timeout or None,
         max_queries=args.queries,
+        engine=engine,
         log=out.write,
     )
     server.start()

@@ -23,8 +23,9 @@ over it unchanged — which the integration tests exercise.
 from __future__ import annotations
 
 import math
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
+from repro.crypto.multiexp import multi_exponent
 from repro.crypto.ntheory import bytes_for_bits, lcm, modinv
 from repro.crypto.primes import random_prime_pair
 from repro.crypto.rng import RandomSource, as_random_source
@@ -175,14 +176,29 @@ def generate_dj_keypair(
 
 
 class DamgardJurikScheme(AdditiveHomomorphicScheme):
-    """Scheme-interface adapter; plug into any :mod:`repro.spfe` protocol."""
+    """Scheme-interface adapter; plug into any :mod:`repro.spfe` protocol.
+
+    The server aggregate uses the same simultaneous-multiexp kernel as
+    Paillier — the homomorphic identities are identical with
+    ``(n^{s+1}, n^s)`` in place of ``(n^2, n)`` — and an optional
+    :class:`~repro.crypto.engine.CryptoEngine` partitions it across
+    processes (engine *encryption* stays Paillier-only; the fixed-base
+    obfuscator trick needs the ``g = n + 1`` shortcut).
+    """
 
     name = "damgard-jurik"
 
-    def __init__(self, s: int = 2) -> None:
+    def __init__(
+        self,
+        s: int = 2,
+        engine: Optional[object] = None,
+        use_multiexp: bool = True,
+    ) -> None:
         if s < 1:
             raise KeyGenerationError("s must be at least 1")
         self.s = s
+        self.engine = engine
+        self.use_multiexp = use_multiexp
 
     def generate(self, bits: int = 512, rng=None) -> SchemeKeyPair:
         """Generate a key pair (scheme-interface hook)."""
@@ -222,3 +238,26 @@ class DamgardJurikScheme(AdditiveHomomorphicScheme):
         """Refresh a ciphertext's randomness, preserving the plaintext (scheme-interface hook)."""
         zero = public.encrypt_raw(0, as_random_source(rng))
         return a * zero % public.modulus
+
+    def weighted_product(
+        self,
+        public: DamgardJurikPublicKey,
+        ciphertexts: Sequence[int],
+        weights: Sequence[int],
+        initial: Optional[int] = None,
+    ) -> int:
+        """The server aggregate ``prod_i c_i^{w_i} mod n^{s+1}``, batched."""
+        if not self.use_multiexp and self.engine is None:
+            return super().weighted_product(public, ciphertexts, weights, initial)
+        if len(ciphertexts) != len(weights):
+            raise ValueError("ciphertext/weight length mismatch")
+        if self.engine is not None:
+            return self.engine.weighted_product(
+                public.modulus, public.n_to_s, ciphertexts, weights, initial
+            )
+        return multi_exponent(
+            ciphertexts,
+            [w % public.n_to_s for w in weights],
+            public.modulus,
+            initial=initial,
+        )

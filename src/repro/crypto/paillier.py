@@ -32,8 +32,11 @@ computed offline.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Union
+import math
+import threading
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.crypto.multiexp import FixedBaseTable, multi_exponent
 from repro.crypto.ntheory import bytes_for_bits, modinv, crt_pair
 from repro.crypto.primes import random_prime_pair
 from repro.crypto.rng import RandomSource, as_random_source
@@ -105,7 +108,7 @@ class PaillierPublicKey:
             # gcd(r, n) != 1 happens with negligible probability for real
             # keys but is cheap to guard against (and matters for the tiny
             # keys the unit tests use).
-            if _gcd(r, self.n) == 1:
+            if math.gcd(r, self.n) == 1:
                 return pow(r, self.n, self.nsquare)
 
     def encrypt_raw(self, plaintext: int, rng: Optional[RandomSource] = None) -> int:
@@ -167,11 +170,16 @@ class PaillierPublicKey:
 
         Zero is rejected along with ``c >= n^2``: no honest encryption
         produces it, and folding it into an aggregate silently zeroes
-        the whole product.
+        the whole product.  ``gcd(c, n) != 1`` is rejected for the same
+        reason (matching :func:`repro.spfe.validation.check_ciphertext`):
+        honest encryptions are always units of Z_{n^2}, and a non-unit
+        either poisons the aggregate or leaks a factor of ``n``.
         """
         value = decode_int(data)
         if not 0 < value < self.nsquare:
             raise DecryptionError("ciphertext outside Z*_{n^2}")
+        if math.gcd(value, self.n) != 1:
+            raise DecryptionError("ciphertext shares a factor with the modulus")
         return value
 
     # -- dunder -------------------------------------------------------------
@@ -268,36 +276,82 @@ class RandomnessPool:
     The pool refills on demand; :attr:`misses` counts how many
     obfuscators had to be computed online, which the timing layer uses to
     charge online vs offline cost correctly.
+
+    With ``fixed_base=True`` the pool draws obfuscators through a
+    per-key :class:`~repro.crypto.multiexp.FixedBaseTable`: a random
+    ``h`` is fixed once, ``g = h^n mod n^2`` is precomputed in windowed
+    form, and each obfuscator is ``g^x`` for fresh random ``x`` — table
+    lookups and multiplications only, ~6x faster than a full ``pow``.
+    (``g^x = (h^x mod n)^n mod n^2``, so these are exact Paillier
+    obfuscators; the randomness ``r = h^x`` ranges over the subgroup
+    generated by ``h`` rather than all of Z*_n — ``docs/performance.md``
+    discusses the assumption.)
+
+    The pool is thread-safe: ``take``/``precompute``/``len`` may be
+    called from concurrent sessions (e.g. under a
+    :class:`~repro.crypto.engine.CryptoEngine`-backed server), and the
+    ``generated``/``misses`` accounting stays exact under concurrent
+    drains.  Draws from the shared RNG also happen under the lock — an
+    HMAC-DRBG mutates state on every draw and is not itself
+    thread-safe.
     """
 
     def __init__(
         self,
         public_key: PaillierPublicKey,
         rng: Union[RandomSource, bytes, str, int, None] = None,
+        fixed_base: bool = False,
+        window: Optional[int] = None,
     ) -> None:
         self.public_key = public_key
         self._rng = as_random_source(rng)
         self._pool: List[int] = []
+        self._lock = threading.Lock()
+        self._fixed_base = fixed_base
+        self._window = window
+        self._table: Optional[FixedBaseTable] = None
         self.generated = 0
         self.misses = 0
+
+    def _obfuscator_locked(self) -> int:
+        """One obfuscator; caller holds the lock (RNG state is shared)."""
+        if not self._fixed_base:
+            return self.public_key.obfuscator(self._rng)
+        if self._table is None:
+            public = self.public_key
+            while True:
+                h = self._rng.randrange(2, public.n)
+                if math.gcd(h, public.n) == 1:
+                    break
+            self._table = FixedBaseTable(
+                pow(h, public.n, public.nsquare),
+                public.nsquare,
+                public.bits,
+                self._window,
+            )
+        x = self._rng.randrange(1, self._table.capacity)
+        return self._table.pow(x)
 
     def precompute(self, count: int) -> None:
         """Generate ``count`` obfuscators now (the offline phase)."""
         if count < 0:
             raise ValueError("count must be non-negative")
-        for _ in range(count):
-            self._pool.append(self.public_key.obfuscator(self._rng))
-        self.generated += count
+        with self._lock:
+            for _ in range(count):
+                self._pool.append(self._obfuscator_locked())
+                self.generated += 1
 
     def take(self) -> int:
         """Pop one obfuscator, computing it on the spot if the pool is dry."""
-        if self._pool:
-            return self._pool.pop()
-        self.misses += 1
-        return self.public_key.obfuscator(self._rng)
+        with self._lock:
+            if self._pool:
+                return self._pool.pop()
+            self.misses += 1
+            return self._obfuscator_locked()
 
     def __len__(self) -> int:
-        return len(self._pool)
+        with self._lock:
+            return len(self._pool)
 
 
 class EncryptedNumber:
@@ -379,7 +433,9 @@ class EncryptedNumber:
         return self * -1
 
     def __sub__(self, other: Union["EncryptedNumber", int]) -> "EncryptedNumber":
-        return self + (-other if isinstance(other, EncryptedNumber) else -other)
+        if not isinstance(other, (EncryptedNumber, int)):
+            return NotImplemented
+        return self + (-other)
 
     def __rsub__(self, other: int) -> "EncryptedNumber":
         return (-self) + other
@@ -425,9 +481,24 @@ class PaillierScheme(AdditiveHomomorphicScheme):
     :class:`PaillierPublicKey`.  Protocol code in :mod:`repro.spfe` uses
     this interface so it can also run against
     :class:`repro.crypto.simulated.SimulatedPaillier`.
+
+    The two batch hooks are kernel-backed: :meth:`weighted_product`
+    runs the :func:`~repro.crypto.multiexp.multi_exponent` bucket
+    kernel (one shared squaring chain for the whole batch) unless
+    ``use_multiexp=False`` restores the naive per-element loop, and an
+    optional :class:`~repro.crypto.engine.CryptoEngine` parallelises
+    both vector encryption and aggregation across processes.
     """
 
     name = "paillier"
+
+    def __init__(
+        self, engine: Optional[object] = None, use_multiexp: bool = True
+    ) -> None:
+        #: optional :class:`~repro.crypto.engine.CryptoEngine` (duck-typed
+        #: so this module never imports the engine; None = in-process)
+        self.engine = engine
+        self.use_multiexp = use_multiexp
 
     def generate(self, bits: int = DEFAULT_KEY_BITS, rng=None) -> SchemeKeyPair:
         """Generate a key pair (scheme-interface hook)."""
@@ -465,8 +536,44 @@ class PaillierScheme(AdditiveHomomorphicScheme):
         """Refresh a ciphertext's randomness, preserving the plaintext (scheme-interface hook)."""
         return a * public.obfuscator(as_random_source(rng)) % public.nsquare
 
+    # -- kernel-backed batch hooks ----------------------------------------
 
-def _gcd(a: int, b: int) -> int:
-    while b:
-        a, b = b, a % b
-    return a
+    def encrypt_vector(
+        self,
+        public: PaillierPublicKey,
+        plaintexts: Sequence[int],
+        rng=None,
+    ) -> Tuple[int, ...]:
+        """Encrypt a plaintext vector, through the engine when one is set."""
+        if self.engine is not None and self.engine.supports_key(public):
+            return self.engine.encrypt_vector(public, plaintexts, rng)
+        return super().encrypt_vector(public, plaintexts, rng)
+
+    def weighted_product(
+        self,
+        public: PaillierPublicKey,
+        ciphertexts: Sequence[int],
+        weights: Sequence[int],
+        initial: Optional[int] = None,
+    ) -> int:
+        """The server aggregate ``prod_i c_i^{w_i} mod n^2``, batched.
+
+        Runs the simultaneous-multiexp bucket kernel (weights reduced
+        into Z_n exactly as ``ciphertext_scale`` does, so the result is
+        bit-for-bit the naive loop's); a configured engine partitions
+        the batch across worker processes as well.
+        """
+        if not self.use_multiexp and self.engine is None:
+            return super().weighted_product(public, ciphertexts, weights, initial)
+        if len(ciphertexts) != len(weights):
+            raise ValueError("ciphertext/weight length mismatch")
+        if self.engine is not None:
+            return self.engine.weighted_product(
+                public.nsquare, public.n, ciphertexts, weights, initial
+            )
+        return multi_exponent(
+            ciphertexts,
+            [w % public.n for w in weights],
+            public.nsquare,
+            initial=initial,
+        )

@@ -157,6 +157,11 @@ class SpfeServer:
             one query actually succeeds (it does not exit after the
             first failed connection, as the pre-concurrency server did).
         busy_retry_ms: retry-after hint carried in BUSY frames.
+        engine: optional :class:`~repro.crypto.engine.CryptoEngine`
+            shared by every session for kernel-partitioned aggregation;
+            the server owns it once passed and closes it as the final
+            step of its drain path, so worker processes never outlive
+            the server.
         log: optional callable for one-line progress messages
             (``out.write``-compatible; lines end with ``\\n``).
     """
@@ -175,6 +180,7 @@ class SpfeServer:
         connection_deadline_s: Optional[float] = None,
         max_queries: int = 0,
         busy_retry_ms: int = 250,
+        engine: Optional[object] = None,
         log: Optional[Callable[[str], object]] = None,
     ) -> None:
         if max_sessions < 1:
@@ -197,6 +203,7 @@ class SpfeServer:
         self.connection_deadline_s = connection_deadline_s
         self.max_queries = max_queries
         self.busy_retry_ms = busy_retry_ms
+        self.engine = engine
         self.stats = ServerStats()
         self._log = log
         self._requested_port = port
@@ -342,6 +349,11 @@ class SpfeServer:
                     self._listener.close()
                 except OSError:
                     pass
+            if self.engine is not None:
+                # Last step of the drain: no session can still be folding
+                # once the workers have joined, so the kernel pool can be
+                # torn down without cutting work short.
+                self.engine.close()
             self._finalized = True
             self._stopped.set()
 
@@ -472,7 +484,10 @@ class SpfeServer:
 
     def _serve_connection(self, connection: socket.socket, peer: Tuple) -> None:
         session = ServerSession(
-            self.database, registry=self.registry, policy=self.policy
+            self.database,
+            registry=self.registry,
+            policy=self.policy,
+            engine=self.engine,
         )
         transport = SocketTransport(connection, read_timeout=self.read_timeout)
         key = id(transport)

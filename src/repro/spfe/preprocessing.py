@@ -50,21 +50,37 @@ class EncryptionPool:
         scheme: AdditiveHomomorphicScheme,
         public_key: Any,
         rng: Any = None,
+        engine: Any = None,
     ) -> None:
         self.scheme = scheme
         self.public_key = public_key
         self._rng = rng
+        self.engine = engine
         self._store: Dict[int, List[Any]] = {0: [], 1: []}
         self.misses = 0
 
     def fill(self, zeros: int, ones: int) -> None:
-        """Encrypt and store ``zeros`` 0-bits and ``ones`` 1-bits (offline)."""
+        """Encrypt and store ``zeros`` 0-bits and ``ones`` 1-bits (offline).
+
+        Runs as two vector encryptions so an attached engine (or an
+        engine-backed scheme) can partition the offline phase — the bulk
+        of the client's work — across worker processes.
+        """
         if zeros < 0 or ones < 0:
             raise ParameterError("pool sizes must be non-negative")
-        for _ in range(zeros):
-            self._store[0].append(self.scheme.encrypt(self.public_key, 0, self._rng))
-        for _ in range(ones):
-            self._store[1].append(self.scheme.encrypt(self.public_key, 1, self._rng))
+        for bit, count in ((0, zeros), (1, ones)):
+            if not count:
+                continue
+            plaintexts = [bit] * count
+            if self.engine is not None and self.engine.supports_key(self.public_key):
+                encrypted = self.engine.encrypt_vector(
+                    self.public_key, plaintexts, self._rng
+                )
+            else:
+                encrypted = self.scheme.encrypt_vector(
+                    self.public_key, plaintexts, self._rng
+                )
+            self._store[bit].extend(encrypted)
 
     def take(self, bit: int) -> Any:
         """Pop one stored encryption of ``bit``; encrypt online if dry."""
@@ -96,12 +112,16 @@ class PreprocessedSelectedSumProtocol(SelectedSumBase):
         context=None,
         pool_zeros: Optional[int] = None,
         pool_ones: Optional[int] = None,
+        engine: Any = None,
     ) -> None:
         """``pool_zeros`` / ``pool_ones`` default to the database size —
-        enough for any selection, matching the paper's "large number"."""
+        enough for any selection, matching the paper's "large number".
+        ``engine`` is handed to the :class:`EncryptionPool` so the
+        offline fill can fan out across worker processes."""
         super().__init__(context)
         self.pool_zeros = pool_zeros
         self.pool_ones = pool_ones
+        self.engine = engine
 
     def run(
         self,
@@ -128,7 +148,7 @@ class PreprocessedSelectedSumProtocol(SelectedSumBase):
         # ---- offline phase: fill the pool before the query exists ----
         zeros = self.pool_zeros if self.pool_zeros is not None else len(database)
         ones = self.pool_ones if self.pool_ones is not None else len(database)
-        pool = EncryptionPool(scheme, public, ctx.rng)
+        pool = EncryptionPool(scheme, public, ctx.rng, engine=self.engine)
         with ctx.compute(CLIENT, Op.ENCRYPT, zeros + ones) as off_block:
             pool.fill(zeros, ones)
         offline_s = off_block.seconds

@@ -44,6 +44,7 @@ import time
 from collections import OrderedDict
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
+from repro.crypto.multiexp import multi_exponent
 from repro.crypto.paillier import (
     PaillierPrivateKey,
     PaillierPublicKey,
@@ -436,11 +437,16 @@ class ServerSession:
         database: ServerDatabase,
         registry: Optional[SessionRegistry] = None,
         policy: Optional[ServerPolicy] = None,
+        engine: Optional[object] = None,
     ) -> None:
         self.database = database
         self.registry = registry
         #: trust-boundary limits; None preserves the legacy permissive mode
         self.policy = policy
+        #: optional :class:`~repro.crypto.engine.CryptoEngine`; chunks are
+        #: folded with the multiexp kernel either way, the engine adds
+        #: multi-process partitioning for large chunks
+        self.engine = engine
         self._decoder = FrameDecoder(
             max_payload=policy.max_frame_payload if policy else None
         )
@@ -621,6 +627,8 @@ class ServerSession:
             raise ProtocolError("client sent more ciphertexts than elements")
         nsquare = self._public_key.nsquare
         n = self._public_key.n
+        batch_cts: List[int] = []
+        batch_weights: List[int] = []
         for ct in ciphertexts:
             if self.policy is not None:
                 check_ciphertext(ct, n, nsquare)
@@ -628,11 +636,25 @@ class ServerSession:
                 raise ProtocolError("ciphertext outside Z*_{n^2}")
             value = self.database[self._received]
             if value:
-                self._aggregate = (
-                    self._aggregate * pow(ct, value, nsquare) % nsquare
-                )
+                batch_cts.append(ct)
+                batch_weights.append(value)
             self.ciphertext_log.append(ct)
             self._received += 1
+        if batch_cts:
+            # Fold the whole chunk with the simultaneous-multiexp kernel
+            # (one shared squaring chain) instead of one pow() per
+            # element; an engine additionally partitions across workers.
+            if self.engine is not None:
+                self._aggregate = self.engine.weighted_product(
+                    nsquare, n, batch_cts, batch_weights, self._aggregate
+                )
+            else:
+                self._aggregate = multi_exponent(
+                    batch_cts,
+                    [w % n for w in batch_weights],
+                    nsquare,
+                    initial=self._aggregate,
+                )
         self._chunks_received += 1
         self.chunk_frames_processed += 1
         done = self._received == len(self.database)

@@ -23,6 +23,15 @@ costs Θ(bits²).
 Profiles can also be *calibrated*: :func:`calibrate_profile` measures the
 real pure-Python cryptosystem on the current machine and fits a profile,
 which the live benches use to sanity-check the model's op-cost ratios.
+
+The calibration is *kernel-aware*: by default it charges the server's
+``WEIGHTED_STEP`` at the amortised per-ciphertext cost of the
+simultaneous-multiexp kernel (:func:`repro.crypto.multiexp.
+multi_exponent`) and ``PRECOMPUTE`` at the fixed-base windowed table's
+per-obfuscator cost — the code paths the measured protocols actually
+take since the kernel engine landed.  Pass ``use_kernels=False`` to fit
+the naive square-and-multiply costs instead (the paper-era baseline,
+and what ``--no-multiexp`` runs match).
 """
 
 from __future__ import annotations
@@ -166,6 +175,7 @@ def calibrate_profile(
     key_bits: int = 256,
     iterations: int = 20,
     clock: Callable[[], float] = time.perf_counter,
+    use_kernels: bool = True,
 ) -> HardwareProfile:
     """Fit a profile to the *current* machine by measuring real Paillier.
 
@@ -175,7 +185,15 @@ def calibrate_profile(
     live microbenchmarks to compare the model's op-cost *ratios* against
     real measurements (absolute speed of 2004 hardware is, of course, not
     reproducible).
+
+    With ``use_kernels`` (the default) the server step and the offline
+    obfuscator are charged at the batch-kernel rates — amortised
+    simultaneous multiexp and fixed-base table lookups respectively —
+    matching what engine-backed runs actually execute.  The fixed-base
+    table build is a one-time per-key cost and is excluded, like key
+    generation, from the per-op figure.
     """
+    from repro.crypto.multiexp import FixedBaseTable, multi_exponent
     from repro.crypto.paillier import generate_keypair
     from repro.crypto.rng import DeterministicRandom
 
@@ -194,11 +212,28 @@ def calibrate_profile(
     ciphertexts = [pk.encrypt_raw(i + 1, rng) for i in range(iterations)]
 
     t_encrypt = measure(lambda i: pk.encrypt_raw(i, rng))
-    t_precompute = measure(lambda i: pk.obfuscator(rng))
-    t_step = measure(
-        lambda i: pow(ciphertexts[i], 0xDEADBEEF, pk.nsquare) * ciphertexts[i]
-        % pk.nsquare
-    )
+    if use_kernels:
+        # Offline obfuscator via the fixed-base windowed table (the
+        # RandomnessPool fixed-base path): exclude the one-time table
+        # build, measure per-lookup cost.
+        h = rng.randrange(2, pk.n)
+        table = FixedBaseTable(pow(h, pk.n, pk.nsquare), pk.nsquare, pk.bits)
+        exps = [rng.randrange(1, table.capacity) for _ in range(iterations)]
+        t_precompute = measure(lambda i: table.pow(exps[i]))
+        # Server step: amortised cost per ciphertext of one multiexp
+        # batch.  Cycle the ciphertext pool up to a realistic batch so
+        # the bucket method's shared squaring chain is actually shared.
+        batch = (ciphertexts * (max(64, iterations) // len(ciphertexts) + 1))[:64]
+        weights = [rng.randrange(1, 1 << 32) for _ in batch]
+        start = clock()
+        multi_exponent(batch, weights, pk.nsquare)
+        t_step = (clock() - start) / len(batch)
+    else:
+        t_precompute = measure(lambda i: pk.obfuscator(rng))
+        t_step = measure(
+            lambda i: pow(ciphertexts[i], 0xDEADBEEF, pk.nsquare) * ciphertexts[i]
+            % pk.nsquare
+        )
     t_add = measure(lambda i: ciphertexts[i] * ciphertexts[-1 - i] % pk.nsquare)
     t_decrypt = measure(lambda i: sk.raw_decrypt(ciphertexts[i]))
 

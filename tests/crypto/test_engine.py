@@ -1,0 +1,200 @@
+"""Tests for the multi-process crypto engine.
+
+The engine's contract has two halves: *correctness* (results equal the
+serial kernels, ciphertexts decrypt to the right plaintexts) and
+*determinism* (a seeded run is byte-identical whether chunks execute
+in-process or on N workers, because chunking and per-chunk seed
+derivation never depend on the worker count).  Pool failures must
+degrade to serial execution, never to wrong answers.
+"""
+
+import pytest
+
+from repro.crypto.engine import DEFAULT_CHUNK_SIZE, CryptoEngine
+from repro.crypto.paillier import PaillierScheme, generate_keypair
+from repro.crypto.rng import DeterministicRandom
+from repro.crypto.simulated import SimulatedPaillier
+from repro.exceptions import ParameterError
+
+KEY_BITS = 128
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(KEY_BITS, "engine-tests")
+
+
+class TestEncryptVector:
+    def test_serial_matches_scheme_encryption(self, keypair):
+        public, private = keypair.public, keypair.private
+        plaintexts = list(range(40))
+        with CryptoEngine(workers=1, chunk_size=16) as engine:
+            cts = engine.encrypt_vector(public, plaintexts, "enc-seed")
+        assert [private.raw_decrypt(ct) for ct in cts] == plaintexts
+
+    def test_parallel_matches_serial_byte_for_byte(self, keypair):
+        public = keypair.public
+        plaintexts = list(range(50))
+        with CryptoEngine(workers=1, chunk_size=8) as serial:
+            expected = serial.encrypt_vector(public, plaintexts, "determinism")
+        with CryptoEngine(workers=3, chunk_size=8) as parallel:
+            got = parallel.encrypt_vector(public, plaintexts, "determinism")
+        assert got == expected
+
+    def test_fixed_base_ciphertexts_decrypt(self, keypair):
+        public, private = keypair.public, keypair.private
+        plaintexts = [0, 1, 17, 255, public.n - 1]
+        with CryptoEngine(workers=1, fixed_base=True, chunk_size=4) as engine:
+            cts = engine.encrypt_vector(public, plaintexts, "fixed-base")
+        assert [private.raw_decrypt(ct) for ct in cts] == plaintexts
+
+    def test_fixed_base_seeded_runs_are_deterministic(self, keypair):
+        public = keypair.public
+        runs = []
+        for _ in range(2):
+            with CryptoEngine(workers=1, fixed_base=True, chunk_size=8) as engine:
+                runs.append(engine.encrypt_vector(public, list(range(20)), "fb"))
+        assert runs[0] == runs[1]
+
+    def test_empty_vector(self, keypair):
+        with CryptoEngine() as engine:
+            assert engine.encrypt_vector(keypair.public, [], "x") == ()
+
+    def test_rejects_non_paillier_key(self):
+        simulated = SimulatedPaillier()
+        pair = simulated.generate(128, "sim")
+        with CryptoEngine() as engine:
+            assert not engine.supports_key(pair.public)
+            with pytest.raises(ParameterError):
+                engine.encrypt_vector(pair.public, [1, 2], "x")
+
+
+class TestWeightedProduct:
+    def _naive(self, public, cts, weights, initial=None):
+        acc = 1 if initial is None else initial % public.nsquare
+        for ct, w in zip(cts, weights):
+            acc = acc * pow(ct, w % public.n, public.nsquare) % public.nsquare
+        return acc
+
+    def test_matches_naive_fold(self, keypair):
+        public = keypair.public
+        rng = DeterministicRandom("wp")
+        cts = [public.encrypt_raw(i, rng) for i in range(30)]
+        weights = [rng.randrange(0, 1 << 32) for _ in cts]
+        with CryptoEngine(workers=1, chunk_size=7) as engine:
+            got = engine.weighted_product(
+                public.nsquare, public.n, cts, weights
+            )
+        assert got == self._naive(public, cts, weights)
+
+    def test_initial_and_worker_count_invariance(self, keypair):
+        public = keypair.public
+        rng = DeterministicRandom("wp-init")
+        cts = [public.encrypt_raw(i + 1, rng) for i in range(25)]
+        weights = list(range(25))
+        initial = public.encrypt_raw(99, rng)
+        expected = self._naive(public, cts, weights, initial)
+        for workers in (1, 3):
+            with CryptoEngine(workers=workers, chunk_size=6) as engine:
+                assert (
+                    engine.weighted_product(
+                        public.nsquare, public.n, cts, weights, initial
+                    )
+                    == expected
+                )
+
+    def test_no_multiexp_path_matches(self, keypair):
+        public = keypair.public
+        rng = DeterministicRandom("wp-naive")
+        cts = [public.encrypt_raw(i, rng) for i in range(12)]
+        weights = [0, 1, 2, 3] * 3
+        with CryptoEngine(workers=1, use_multiexp=False) as engine:
+            got = engine.weighted_product(public.nsquare, public.n, cts, weights)
+        assert got == self._naive(public, cts, weights)
+
+    def test_empty_batch_returns_initial(self, keypair):
+        public = keypair.public
+        with CryptoEngine() as engine:
+            assert engine.weighted_product(public.nsquare, public.n, [], []) == 1
+            assert (
+                engine.weighted_product(public.nsquare, public.n, [], [], 7) == 7
+            )
+
+    def test_rejects_length_mismatch(self, keypair):
+        public = keypair.public
+        with CryptoEngine() as engine:
+            with pytest.raises(ParameterError):
+                engine.weighted_product(public.nsquare, public.n, [1], [])
+
+
+class TestLifecycleAndFallback:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            CryptoEngine(workers=-1)
+        with pytest.raises(ParameterError):
+            CryptoEngine(chunk_size=0)
+
+    def test_close_is_idempotent_and_context_manager(self):
+        engine = CryptoEngine(workers=2)
+        with engine:
+            pass
+        assert engine.closed
+        engine.close()
+
+    def test_closed_engine_still_computes_serially(self, keypair):
+        public, private = keypair.public, keypair.private
+        engine = CryptoEngine(workers=2, chunk_size=4)
+        engine.close()
+        cts = engine.encrypt_vector(public, [3, 4, 5], "after-close")
+        assert [private.raw_decrypt(ct) for ct in cts] == [3, 4, 5]
+        assert engine.parallel_batches == 0
+
+    def test_pool_start_failure_degrades_to_serial(self, keypair, monkeypatch):
+        import concurrent.futures
+
+        def boom(*args, **kwargs):
+            raise OSError("no processes in this sandbox")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", boom
+        )
+        public, private = keypair.public, keypair.private
+        with CryptoEngine(workers=4, chunk_size=2) as engine:
+            cts = engine.encrypt_vector(public, [7, 8, 9, 10], "fallback")
+            assert engine.pool_broken
+            assert engine.parallel_batches == 0
+            assert engine.serial_batches >= 1
+        assert [private.raw_decrypt(ct) for ct in cts] == [7, 8, 9, 10]
+
+    def test_single_chunk_skips_the_pool(self, keypair):
+        public = keypair.public
+        with CryptoEngine(workers=4, chunk_size=DEFAULT_CHUNK_SIZE) as engine:
+            engine.encrypt_vector(public, [1, 2, 3], "one-chunk")
+            assert engine.parallel_batches == 0
+            assert engine.serial_batches == 1
+
+
+class TestSchemeIntegration:
+    def test_paillier_scheme_routes_through_engine(self, keypair):
+        public, private = keypair.public, keypair.private
+        with CryptoEngine(workers=1, chunk_size=8) as engine:
+            scheme = PaillierScheme(engine=engine)
+            cts = scheme.encrypt_vector(public, [5, 6, 7], "scheme")
+            assert [private.raw_decrypt(ct) for ct in cts] == [5, 6, 7]
+            weights = [2, 3, 4]
+            got = scheme.weighted_product(public, cts, weights)
+            assert private.raw_decrypt(got) == 5 * 2 + 6 * 3 + 7 * 4
+
+    def test_no_multiexp_scheme_matches_base_fold(self, keypair):
+        public, private = keypair.public, keypair.private
+        rng = DeterministicRandom("scheme-naive")
+        cts = [public.encrypt_raw(i, rng) for i in range(8)]
+        weights = [1, 0, 2, 5, 0, 1, 3, 4]
+        fast = PaillierScheme().weighted_product(public, cts, weights)
+        slow = PaillierScheme(use_multiexp=False).weighted_product(
+            public, cts, weights
+        )
+        assert fast == slow
+        assert private.raw_decrypt(fast) == sum(
+            i * w for i, w in enumerate(weights)
+        )

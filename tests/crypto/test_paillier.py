@@ -320,3 +320,146 @@ class TestUntrustedDeserialization:
         assert PaillierPublicKey.from_bytes(pk.to_bytes()) == pk
         c = pk.encrypt_raw(5, DeterministicRandom("untrusted"))
         assert pk.ciphertext_from_bytes(pk.ciphertext_to_bytes(c)) == c
+
+
+class TestNonUnitCiphertextRejected:
+    """ciphertext_from_bytes must reject non-units of Z_{n^2} (gcd > 1).
+
+    A ciphertext sharing a factor with n is never produced by honest
+    encryption; accepting one would poison aggregates (and hand a factor
+    of the modulus to anyone who inspects it).  Regression test for the
+    docstring/behaviour mismatch where only the range was checked.
+    """
+
+    def test_prime_factor_rejected(self, keypair):
+        pk, sk = keypair.public, keypair.private
+        data = pk.ciphertext_to_bytes(sk.p)
+        with pytest.raises(DecryptionError):
+            pk.ciphertext_from_bytes(data)
+
+    def test_multiple_of_n_rejected(self, keypair):
+        pk = keypair.public
+        data = pk.ciphertext_to_bytes(pk.n * 7)
+        with pytest.raises(DecryptionError):
+            pk.ciphertext_from_bytes(data)
+
+    def test_matches_protocol_validator(self, keypair):
+        # The wire parser and repro.spfe.validation.check_ciphertext must
+        # agree on what an acceptable ciphertext is.
+        from repro.exceptions import ValidationError
+        from repro.spfe.validation import check_ciphertext
+
+        pk, sk = keypair.public, keypair.private
+        with pytest.raises(ValidationError):
+            check_ciphertext(sk.q, pk.n, pk.nsquare)
+
+
+class TestSubtractionRegression:
+    """enc - int and enc - enc, pinned against the rewritten __sub__."""
+
+    def test_enc_minus_int(self, keypair):
+        a = EncryptedNumber.encrypt(keypair.public, 42, "sub-a")
+        assert (a - 12).decrypt(keypair.private) == 30
+        assert (a - (-8)).decrypt(keypair.private) == 50
+
+    def test_enc_minus_enc(self, keypair):
+        a = EncryptedNumber.encrypt(keypair.public, 7, "sub-b")
+        b = EncryptedNumber.encrypt(keypair.public, 19, "sub-c")
+        assert (a - b).decrypt(keypair.private) == -12
+        assert (b - a).decrypt(keypair.private) == 12
+
+    def test_int_minus_enc(self, keypair):
+        a = EncryptedNumber.encrypt(keypair.public, 13, "sub-d")
+        assert (100 - a).decrypt(keypair.private) == 87
+
+    def test_unsupported_operand_rejected(self, keypair):
+        a = EncryptedNumber.encrypt(keypair.public, 1, "sub-e")
+        with pytest.raises(TypeError):
+            _ = a - 1.5  # type: ignore[operator]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(-(2**30), 2**30), st.integers(-(2**30), 2**30))
+    def test_subtraction_property(self, keypair, a, b):
+        ea = EncryptedNumber.encrypt(keypair.public, a, DeterministicRandom(a))
+        eb = EncryptedNumber.encrypt(keypair.public, b, DeterministicRandom(b))
+        assert (ea - eb).decrypt(keypair.private) == a - b
+        assert (ea - b).decrypt(keypair.private) == a - b
+
+
+class TestRandomnessPoolConcurrency:
+    def test_concurrent_drain_keeps_accounting_exact(self, keypair):
+        import threading
+
+        pool = RandomnessPool(keypair.public, "pool-concurrent")
+        pool.precompute(40)
+        assert pool.generated == 40
+
+        taken = []
+        taken_lock = threading.Lock()
+
+        def drain():
+            for _ in range(20):
+                value = pool.take()
+                with taken_lock:
+                    taken.append(value)
+
+        threads = [threading.Thread(target=drain) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        # 80 takes against 40 precomputed: exactly 40 misses, pool empty,
+        # and every obfuscator handed out exactly once (no double-pop).
+        assert len(taken) == 80
+        assert pool.misses == 40
+        assert pool.generated == 40
+        assert len(pool) == 0
+
+    def test_concurrent_precompute_counts_every_item(self, keypair):
+        import threading
+
+        pool = RandomnessPool(keypair.public, "pool-fill")
+        threads = [
+            threading.Thread(target=pool.precompute, args=(10,))
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert pool.generated == 40
+        assert len(pool) == 40
+
+
+class TestRandomnessPoolFixedBase:
+    def test_fixed_base_obfuscators_encrypt_correctly(self, keypair):
+        pool = RandomnessPool(keypair.public, "pool-fb", fixed_base=True)
+        pool.precompute(6)
+        for value in (0, 1, 12345):
+            c = EncryptedNumber.encrypt(keypair.public, value, pool=pool)
+            assert c.decrypt(keypair.private) == value
+
+    def test_fixed_base_seeded_pool_is_deterministic(self, keypair):
+        a = RandomnessPool(keypair.public, "pool-det", fixed_base=True)
+        b = RandomnessPool(keypair.public, "pool-det", fixed_base=True)
+        a.precompute(5)
+        b.precompute(5)
+        assert [a.take() for _ in range(5)] == [b.take() for _ in range(5)]
+
+    def test_fixed_base_obfuscators_are_valid_powers(self, keypair):
+        # Every fixed-base obfuscator must be r^n mod n^2 for some unit r
+        # — decrypting E(0) with it must yield 0.
+        pk, sk = keypair.public, keypair.private
+        pool = RandomnessPool(keypair.public, "pool-valid", fixed_base=True)
+        for _ in range(4):
+            obf = pool.take()
+            assert sk.raw_decrypt(pk.raw_encrypt(0, obf)) == 0
+
+    def test_window_override(self, keypair):
+        pool = RandomnessPool(
+            keypair.public, "pool-window", fixed_base=True, window=4
+        )
+        pool.precompute(3)
+        c = EncryptedNumber.encrypt(keypair.public, 7, pool=pool)
+        assert c.decrypt(keypair.private) == 7
