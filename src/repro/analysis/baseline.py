@@ -1,0 +1,94 @@
+"""The committed baseline of grandfathered findings.
+
+A baseline lets the CI gate go hard *today* without first fixing every
+historical finding: ``--update-baseline`` records the current findings
+as fingerprints, the committed file grandfathers exactly those, and any
+*new* finding still fails the build.  Shrinking the baseline over time
+is the workflow; growing it requires a deliberate re-record in review.
+
+Fingerprints hash the file path, the rule id, and the *text* of the
+flagged line — not the line number — so unrelated edits above a
+grandfathered finding do not churn the file.  Identical flagged lines
+are disambiguated by multiplicity: a baseline with one entry masks one
+occurrence, not every copy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.findings import Finding
+
+__all__ = ["fingerprint", "load_baseline", "write_baseline", "BaselineError"]
+
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised when a baseline file cannot be parsed."""
+
+
+def fingerprint(finding: Finding, line_text: str) -> str:
+    """Stable id for one finding: path + rule + normalized line text."""
+    material = "%s::%s::%s" % (
+        finding.path,
+        finding.rule_id,
+        " ".join(line_text.split()),
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:20]
+
+
+def load_baseline(path: Path) -> "Counter[str]":
+    """Fingerprint multiset from a baseline file (empty if absent)."""
+    if not path.exists():
+        return Counter()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise BaselineError("cannot read baseline %s: %s" % (path, exc)) from exc
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise BaselineError(
+            "baseline %s has unsupported format (want version %d)"
+            % (path, _VERSION)
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, list):
+        raise BaselineError("baseline %s: 'entries' must be a list" % path)
+    counts: "Counter[str]" = Counter()
+    for entry in entries:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise BaselineError(
+                "baseline %s: every entry needs a 'fingerprint'" % path
+            )
+        counts[str(entry["fingerprint"])] += 1
+    return counts
+
+
+def write_baseline(
+    path: Path, findings: Iterable[Tuple[Finding, str]]
+) -> int:
+    """Record ``(finding, line_text)`` pairs; returns the entry count.
+
+    Entries keep the rule id, path, and flagged text alongside the
+    fingerprint so reviewers can audit what exactly was grandfathered.
+    """
+    entries: List[Dict[str, str]] = []
+    for finding, line_text in findings:
+        entries.append(
+            {
+                "fingerprint": fingerprint(finding, line_text),
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "text": " ".join(line_text.split()),
+            }
+        )
+    entries.sort(key=lambda e: (e["path"], e["rule"], e["fingerprint"]))
+    payload = {"version": _VERSION, "entries": entries}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)

@@ -1,0 +1,170 @@
+"""``python -m repro.analysis`` — the seclint command line.
+
+Usage::
+
+    python -m repro.analysis src                   # gate: exit 1 on findings
+    python -m repro.analysis src --update-baseline # grandfather current tree
+    python -m repro.analysis --list-rules          # rule catalogue
+    python -m repro.analysis src --json            # machine-readable output
+
+Exit codes: 0 clean, 1 findings, 2 usage/configuration error.  CI runs
+the first form as a hard gate; the committed baseline (default
+``.seclint-baseline.json``, used only when present) grandfathers
+historical findings without weakening the gate for new code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, TextIO
+
+from repro.analysis.baseline import BaselineError, load_baseline, write_baseline
+from repro.analysis.engine import analyze_paths
+from repro.analysis.findings import BAD_SUPPRESSION_RULE_ID
+from repro.analysis.registry import all_rules
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_BASELINE = ".seclint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The seclint argument parser (exposed for doc/tooling use)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="seclint: secret-hygiene and lock-discipline analysis",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to analyze (e.g. src)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help="baseline file of grandfathered findings "
+             "(default: %s when it exists)" % DEFAULT_BASELINE,
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="record current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit findings as JSON instead of text",
+    )
+    return parser
+
+
+def _list_rules(out: TextIO) -> None:
+    out.write(
+        "%s analyzer-integrity (malformed suppression, unparseable file); "
+        "never suppressible\n" % BAD_SUPPRESSION_RULE_ID
+    )
+    for rule in all_rules():
+        out.write("%s %s: %s\n" % (rule.rule_id, rule.name, rule.rationale))
+
+
+def main(
+    argv: Optional[List[str]] = None,
+    out: Optional[TextIO] = None,
+    err: Optional[TextIO] = None,
+) -> int:
+    """Entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        _list_rules(out)
+        return 0
+    if not options.paths:
+        err.write("error: no paths given (try: python -m repro.analysis src)\n")
+        return 2
+    missing = [str(p) for p in options.paths if not p.exists()]
+    if missing:
+        err.write("error: no such path: %s\n" % ", ".join(missing))
+        return 2
+
+    baseline_path = options.baseline
+    if baseline_path is None:
+        default = Path(DEFAULT_BASELINE)
+        baseline_path = default if default.exists() else None
+    if options.no_baseline:
+        baseline_path = None
+
+    baseline = None
+    if baseline_path is not None and not options.update_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except BaselineError as exc:
+            err.write("error: %s\n" % exc)
+            return 2
+
+    report = analyze_paths(options.paths, baseline=baseline)
+
+    if options.update_baseline:
+        target = baseline_path or Path(DEFAULT_BASELINE)
+        hard = [
+            f for f in report.findings
+            if f.rule_id == BAD_SUPPRESSION_RULE_ID
+        ]
+        if hard:
+            for finding in hard:
+                err.write(finding.render() + "\n")
+            err.write(
+                "error: fix analyzer-integrity findings before recording "
+                "a baseline\n"
+            )
+            return 2
+        count = write_baseline(
+            target,
+            [(f, report.line_text_for(f)) for f in report.findings],
+        )
+        out.write(
+            "seclint: baseline %s updated with %d finding(s)\n"
+            % (target, count)
+        )
+        return 0
+
+    if options.as_json:
+        payload = {
+            "findings": [
+                {
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "rule": f.rule_id,
+                    "message": f.message,
+                }
+                for f in report.findings
+            ],
+            "suppressed": len(report.suppressed),
+            "baselined": len(report.baselined),
+            "files_scanned": report.files_scanned,
+        }
+        out.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    else:
+        for finding in report.findings:
+            out.write(finding.render() + "\n")
+        out.write(
+            "seclint: %d finding(s), %d suppressed, %d baselined, "
+            "%d file(s) scanned\n"
+            % (
+                len(report.findings),
+                len(report.suppressed),
+                len(report.baselined),
+                report.files_scanned,
+            )
+        )
+    return 1 if report.findings else 0

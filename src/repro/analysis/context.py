@@ -1,0 +1,128 @@
+"""Per-file analysis context and shared AST helpers.
+
+A :class:`FileContext` bundles what every rule needs — the parsed tree,
+the raw source lines, the path (for the path-scoped rules), and the
+:class:`~repro.analysis.config.AnalysisConfig`.  The module also holds
+the small AST predicates shared by several rules, most importantly
+:func:`secret_names_in`, the taint test of SEC001/SEC003.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+from typing import FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.config import AnalysisConfig
+
+__all__ = [
+    "FileContext",
+    "secret_names_in",
+    "self_attribute",
+    "simple_name",
+]
+
+
+@dataclass
+class FileContext:
+    """Everything one rule invocation sees about one source file."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    config: AnalysisConfig
+
+    def __post_init__(self) -> None:
+        self._lines: List[str] = self.source.splitlines()
+
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        config: AnalysisConfig,
+        relpath: str = "<memory>",
+        path: Optional[Path] = None,
+    ) -> "FileContext":
+        """Build a context from an in-memory source string (tests)."""
+        tree = ast.parse(source, filename=relpath)
+        return cls(path or Path(relpath), relpath, source, tree, config)
+
+    def line_text(self, line: int) -> str:
+        """The 1-indexed source line, or '' past the end."""
+        if 1 <= line <= len(self._lines):
+            return self._lines[line - 1]
+        return ""
+
+    def in_parts(self, parts_list: Sequence[Tuple[str, ...]]) -> bool:
+        """True when the file's path contains one of the segment runs.
+
+        ``("repro", "crypto")`` matches ``src/repro/crypto/x.py`` and
+        ``tests/analysis/fixtures/sec002/repro/crypto/x.py`` but not
+        ``myrepro/crypto/x.py`` — matching is per whole path segment.
+        """
+        segments = PurePosixPath(self.relpath).parts
+        for parts in parts_list:
+            width = len(parts)
+            for start in range(len(segments) - width + 1):
+                if segments[start : start + width] == tuple(parts):
+                    return True
+        return False
+
+
+def simple_name(node: ast.AST) -> Optional[str]:
+    """The bare name of a ``Name`` or the attribute of an ``Attribute``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def self_attribute(node: ast.AST) -> Optional[str]:
+    """``attr`` when ``node`` is exactly ``self.<attr>``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _iter_unsanitized(
+    node: ast.AST, sanitizers: FrozenSet[str]
+) -> Iterator[ast.AST]:
+    """Walk ``node`` skipping subtrees laundered by a sanitizer call."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in sanitizers
+    ):
+        return
+    yield node
+    for child in ast.iter_child_nodes(node):
+        yield from _iter_unsanitized(child, sanitizers)
+
+
+def secret_names_in(
+    node: ast.AST,
+    config: AnalysisConfig,
+    names: Optional[FrozenSet[str]] = None,
+) -> List[str]:
+    """Sorted secret names referenced anywhere under ``node``.
+
+    A reference is a ``Name`` load or an ``Attribute`` access whose
+    terminal name is in the registry.  Subtrees under a sanitizer call
+    (``len(secret)``, ``type(secret)``) are skipped — those reveal
+    metadata, not the value.
+    """
+    registry = config.secret_names if names is None else names
+    hits: Set[str] = set()
+    for sub in _iter_unsanitized(node, config.sanitizer_calls):
+        if isinstance(sub, ast.Name) and sub.id in registry:
+            hits.add(sub.id)
+        elif isinstance(sub, ast.Attribute) and sub.attr in registry:
+            hits.add(sub.attr)
+    return sorted(hits)

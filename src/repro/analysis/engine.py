@@ -1,0 +1,137 @@
+"""Analysis driver: walk files, run rules, filter, order.
+
+The pipeline per file is parse → run every registered rule → drop
+findings covered by a valid inline suppression → drop findings whose
+fingerprint is in the committed baseline → report the rest, globally
+sorted.  Malformed suppressions and unparseable files surface as
+SEC000 findings which no suppression or baseline can hide.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.baseline import fingerprint
+from repro.analysis.config import AnalysisConfig, default_config
+from repro.analysis.context import FileContext
+from repro.analysis.findings import BAD_SUPPRESSION_RULE_ID, Finding
+from repro.analysis.registry import Rule, all_rules, rule_ids
+from repro.analysis.suppressions import collect_suppressions
+
+__all__ = ["AnalysisReport", "analyze_paths", "iter_python_files"]
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analyzer run."""
+
+    #: findings that should fail the gate, globally sorted
+    findings: List[Finding] = field(default_factory=list)
+    #: (finding, justification) pairs silenced by inline suppressions
+    suppressed: List[Tuple[Finding, str]] = field(default_factory=list)
+    #: findings grandfathered by the baseline
+    baselined: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing new was found."""
+        return not self.findings
+
+    def line_text_for(self, finding: Finding) -> str:
+        """The flagged source line (for baseline fingerprinting)."""
+        return self._line_texts.get((finding.path, finding.line), "")
+
+    _line_texts: Dict[Tuple[str, int], str] = field(default_factory=dict)
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """All ``.py`` files under ``paths``, sorted, ``__pycache__`` skipped."""
+    found = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            found.add(path)
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if "__pycache__" not in candidate.parts:
+                    found.add(candidate)
+    return sorted(found)
+
+
+def _relpath(path: Path) -> str:
+    """Posix path relative to the CWD when possible (stable baselines)."""
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    config: Optional[AnalysisConfig] = None,
+    baseline: Optional["Counter[str]"] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> AnalysisReport:
+    """Run every rule over every Python file under ``paths``."""
+    config = config or default_config()
+    active_rules = list(rules) if rules is not None else all_rules()
+    known = rule_ids()
+    remaining: "Counter[str]" = Counter(baseline or ())
+    report = AnalysisReport()
+    for path in iter_python_files(paths):
+        report.files_scanned += 1
+        relpath = _relpath(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            report.findings.append(
+                Finding(
+                    relpath, 1, 0, BAD_SUPPRESSION_RULE_ID,
+                    "unreadable file: %s" % exc,
+                )
+            )
+            continue
+        try:
+            ctx = FileContext.from_source(source, config, relpath, path)
+        except SyntaxError as exc:
+            report.findings.append(
+                Finding(
+                    relpath, exc.lineno or 1, 0, BAD_SUPPRESSION_RULE_ID,
+                    "could not parse: %s" % exc.msg,
+                )
+            )
+            continue
+        suppressions, problems = collect_suppressions(source, known)
+        for line, reason in problems:
+            report.findings.append(
+                Finding(relpath, line, 0, BAD_SUPPRESSION_RULE_ID, reason)
+            )
+        raw: List[Finding] = []
+        for rule in active_rules:
+            raw.extend(rule.check(ctx))
+        for finding in sorted(set(raw)):
+            report._line_texts[(finding.path, finding.line)] = ctx.line_text(
+                finding.line
+            )
+            suppression = suppressions.get(finding.line)
+            if (
+                suppression is not None
+                and finding.rule_id in suppression.rule_ids
+                and finding.rule_id != BAD_SUPPRESSION_RULE_ID
+            ):
+                report.suppressed.append((finding, suppression.justification))
+                continue
+            if finding.rule_id != BAD_SUPPRESSION_RULE_ID:
+                print_key = fingerprint(finding, ctx.line_text(finding.line))
+                if remaining[print_key] > 0:
+                    remaining[print_key] -= 1
+                    report.baselined.append(finding)
+                    continue
+            report.findings.append(finding)
+    report.findings.sort()
+    report.suppressed.sort(key=lambda pair: pair[0])
+    report.baselined.sort()
+    return report

@@ -1,0 +1,44 @@
+"""The :class:`Finding` record emitted by every rule.
+
+Findings are value objects with total ordering so analyzer output is
+deterministic: sorted by path, then line, then column, then rule id.
+The rendered form ``file:line:col: RULE message`` matches what editors
+and CI log scrapers expect from a linter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding", "BAD_SUPPRESSION_RULE_ID"]
+
+#: Analyzer-integrity findings: malformed suppressions, unknown rule ids
+#: in a suppression, unparseable files.  SEC000 findings can never be
+#: suppressed or baselined — they mean the gate itself is being misused.
+BAD_SUPPRESSION_RULE_ID = "SEC000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    The field order *is* the sort order (path, line, col, rule_id,
+    message), which makes ``sorted(findings)`` the canonical output
+    ordering everywhere.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        """``file:line:col: RULE message`` — one line per finding."""
+        return "%s:%d:%d: %s %s" % (
+            self.path,
+            self.line,
+            self.col,
+            self.rule_id,
+            self.message,
+        )

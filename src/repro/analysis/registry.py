@@ -1,0 +1,72 @@
+"""Rule registry: rules declare themselves, the engine discovers them.
+
+Adding a rule is three steps (see ``docs/static-analysis.md``):
+subclass :class:`Rule`, set ``rule_id``/``name``/``rationale``,
+decorate with :func:`register`.  Ids must be unique and match
+``SEC\\d{3}``; the engine runs rules sorted by id so output order never
+depends on import order.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Iterable, List, Type, TypeVar
+
+from repro.analysis.findings import Finding
+from repro.analysis.context import FileContext
+
+__all__ = ["Rule", "register", "all_rules", "rule_ids"]
+
+_RULE_ID_RE = re.compile(r"^SEC\d{3}$")
+
+_REGISTRY: Dict[str, Type["Rule"]] = {}
+
+R = TypeVar("R", bound=Type["Rule"])
+
+
+class Rule:
+    """One check over one file's AST.
+
+    Subclasses override :meth:`check` and yield
+    :class:`~repro.analysis.findings.Finding` objects; the engine
+    handles suppressions, the baseline, and ordering.
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    rationale: str = ""
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Yield findings for ``ctx``; the base rule finds nothing."""
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, line: int, col: int, message: str
+    ) -> Finding:
+        """Convenience constructor stamping this rule's id."""
+        return Finding(ctx.relpath, line, col, self.rule_id, message)
+
+
+def register(cls: R) -> R:
+    """Class decorator adding a :class:`Rule` subclass to the registry."""
+    if not _RULE_ID_RE.match(cls.rule_id):
+        raise ValueError("rule id %r must match SEC\\d{3}" % (cls.rule_id,))
+    if cls.rule_id in _REGISTRY:
+        raise ValueError("duplicate rule id %s" % cls.rule_id)
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, sorted by id."""
+    # importing the rules package populates the registry exactly once
+    import repro.analysis.rules  # noqa: F401
+
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def rule_ids() -> FrozenSet[str]:
+    """The registered ids (suppressions are validated against these)."""
+    import repro.analysis.rules  # noqa: F401
+
+    return frozenset(_REGISTRY)

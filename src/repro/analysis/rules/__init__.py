@@ -1,0 +1,18 @@
+"""The shipped rules.  Importing this package registers SEC001–SEC005.
+
+Each module groups the rules for one invariant family:
+
+* :mod:`repro.analysis.rules.secrets` — SEC001 secret taint into
+  formatting/exception/repr/serialization sinks; SEC003 non-constant-
+  time comparison of secret bytes.
+* :mod:`repro.analysis.rules.rng` — SEC002 stdlib ``random`` inside the
+  crypto and protocol packages.
+* :mod:`repro.analysis.rules.locks` — SEC004 writes to lock-guarded
+  shared state outside its lock.
+* :mod:`repro.analysis.rules.excepts` — SEC005 broad exception
+  swallowing in the crypto and network packages.
+"""
+
+from repro.analysis.rules import excepts, locks, rng, secrets
+
+__all__ = ["excepts", "locks", "rng", "secrets"]

@@ -1,0 +1,97 @@
+"""SEC002: stdlib ``random`` is forbidden in the crypto/protocol core.
+
+Every random value in :mod:`repro.crypto` and :mod:`repro.spfe` is
+security- or reproducibility-relevant: obfuscators, prime candidates,
+DRBG seeds, index blinding.  The Mersenne Twister behind the stdlib
+``random`` module is neither cryptographically secure (624 outputs
+reconstruct the state) nor part of the repo's seeded-reproducibility
+story (the HMAC-DRBG is).  The only sanctioned sources are
+:class:`~repro.crypto.rng.SecureRandom` and
+:class:`~repro.crypto.rng.DeterministicRandom`.
+
+The rule flags, inside the restricted packages only:
+
+* ``import random`` / ``import random as r`` / ``from random import x``
+* any attribute access through a module named ``random``
+  (``random.random()``, ``numpy.random.default_rng()``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+__all__ = ["RngDisciplineRule"]
+
+
+@register
+class RngDisciplineRule(Rule):
+    """SEC002: ``random`` used where only SecureRandom/DeterministicRandom
+    are sanctioned."""
+
+    rule_id = "SEC002"
+    name = "rng-discipline"
+    rationale = (
+        "Mersenne Twister output is predictable from 624 samples and is "
+        "outside the repo's seeded-DRBG reproducibility story; crypto "
+        "and protocol code must draw from repro.crypto.rng only."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Find stdlib ``random`` usage in the restricted packages."""
+        if not ctx.in_parts(ctx.config.rng_restricted_parts):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root == "random":
+                        findings.append(
+                            self.finding(
+                                ctx, node.lineno, node.col_offset,
+                                "import of stdlib 'random' in RNG-restricted "
+                                "code; use repro.crypto.rng",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is not None and (
+                    node.module == "random"
+                    or node.module.startswith("random.")
+                ):
+                    findings.append(
+                        self.finding(
+                            ctx, node.lineno, node.col_offset,
+                            "from-import of stdlib 'random' in RNG-"
+                            "restricted code; use repro.crypto.rng",
+                        )
+                    )
+            elif isinstance(node, ast.Attribute):
+                base = node.value
+                if isinstance(base, ast.Name) and base.id == "random":
+                    findings.append(
+                        self.finding(
+                            ctx, node.lineno, node.col_offset,
+                            "call through module 'random' (random.%s) in "
+                            "RNG-restricted code; use repro.crypto.rng"
+                            % node.attr,
+                        )
+                    )
+                elif (
+                    isinstance(base, ast.Attribute)
+                    and base.attr == "random"
+                    and isinstance(base.value, ast.Name)
+                ):
+                    findings.append(
+                        self.finding(
+                            ctx, node.lineno, node.col_offset,
+                            "call through %s.random.%s in RNG-restricted "
+                            "code; use repro.crypto.rng"
+                            % (base.value.id, node.attr),
+                        )
+                    )
+        return findings

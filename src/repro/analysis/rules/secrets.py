@@ -1,0 +1,208 @@
+"""SEC001 secret taint and SEC003 non-constant-time comparison.
+
+SEC001 is the analyzer's reason to exist: the protocol's privacy claim
+is "the server learns nothing beyond the aggregate, the client nothing
+beyond the answer", and the fastest way to break it in practice is not
+cryptanalysis but an f-string — a prime factor in a
+``KeyGenerationError`` message, an index vector in a debug repr, an
+obfuscator serialized into a log.  The rule flags any expression that
+carries a registered secret name into one of the classic exfiltration
+sinks:
+
+* f-strings (``JoinedStr``),
+* ``%`` formatting with a string literal on the left,
+* ``str.format(...)`` on a string literal,
+* exception constructor arguments (``DecryptionError(p)``),
+* return values of ``__repr__``/``__str__``,
+* ``.to_bytes(...)`` on a secret outside whitelisted serializers.
+
+Metadata-only uses are laundered: ``len(weights)`` or
+``type(seed).__name__`` reveal size and type, not the value, and are
+not flagged.
+
+SEC003 covers the remaining leak channel of equality tests: comparing
+secret byte strings with ``==``/``!=`` short-circuits on the first
+differing byte, so a remote caller can binary-search a MAC or DRBG
+state one byte at a time.  Secret bytes must be compared with
+``hmac.compare_digest``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Optional
+
+from repro.analysis.context import (
+    FileContext,
+    secret_names_in,
+    simple_name,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+__all__ = ["SecretTaintRule", "ConstantTimeRule"]
+
+
+def _is_str_constant(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, str)
+
+
+@register
+class SecretTaintRule(Rule):
+    """SEC001: a registered secret flows into a formatting/exception/
+    repr/serialization sink."""
+
+    rule_id = "SEC001"
+    name = "secret-taint"
+    rationale = (
+        "Secrets (key factors, index vectors, DRBG state, obfuscators) "
+        "in exception text, format strings, reprs, or ad-hoc "
+        "serialization leak through logs and wire errors, voiding the "
+        "protocol's privacy claim."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Find secret names flowing into string/exception sinks."""
+        findings: List[Finding] = []
+        in_serializer_module = ctx.in_parts(ctx.config.serializer_modules)
+        self._scan(ctx, ctx.tree, findings, in_serializer_module, False)
+        return findings
+
+    # -- traversal --------------------------------------------------------
+
+    def _scan(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        findings: List[Finding],
+        in_serializer: bool,
+        in_repr: bool,
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            serializer = in_serializer
+            repr_fn = in_repr
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                serializer = in_serializer or (
+                    child.name in ctx.config.serializer_functions
+                )
+                repr_fn = child.name in ("__repr__", "__str__")
+            self._inspect(ctx, child, findings, serializer, repr_fn)
+            self._scan(ctx, child, findings, serializer, repr_fn)
+
+    def _inspect(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        findings: List[Finding],
+        in_serializer: bool,
+        in_repr: bool,
+    ) -> None:
+        config = ctx.config
+        if isinstance(node, ast.JoinedStr):
+            self._flag(ctx, node, node, findings, "interpolated into an f-string")
+        elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod):
+            if _is_str_constant(node.left):
+                self._flag(
+                    ctx, node, node.right, findings,
+                    "interpolated via %-formatting",
+                )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "format":
+                if _is_str_constant(func.value):
+                    for arg in self._call_arguments(node):
+                        self._flag(
+                            ctx, node, arg, findings,
+                            "interpolated via str.format",
+                        )
+            elif isinstance(func, ast.Attribute) and func.attr == "to_bytes":
+                if not in_serializer:
+                    self._flag(
+                        ctx, node, func.value, findings,
+                        "serialized with to_bytes outside a whitelisted "
+                        "serializer",
+                    )
+            else:
+                callee = simple_name(func)
+                if callee is not None and config.is_exception_name(callee):
+                    for arg in self._call_arguments(node):
+                        self._flag(
+                            ctx, node, arg, findings,
+                            "passed to exception constructor %s" % callee,
+                        )
+        elif in_repr and isinstance(node, ast.Return) and node.value is not None:
+            self._flag(
+                ctx, node, node.value, findings,
+                "returned from __repr__/__str__",
+            )
+
+    @staticmethod
+    def _call_arguments(call: ast.Call) -> Iterator[ast.AST]:
+        for arg in call.args:
+            yield arg
+        for keyword in call.keywords:
+            yield keyword.value
+
+    def _flag(
+        self,
+        ctx: FileContext,
+        site: ast.AST,
+        expr: ast.AST,
+        findings: List[Finding],
+        how: str,
+    ) -> None:
+        names = secret_names_in(expr, ctx.config)
+        if not names:
+            return
+        line = getattr(site, "lineno", 1)
+        col = getattr(site, "col_offset", 0)
+        findings.append(
+            self.finding(
+                ctx, line, col,
+                "secret %s %s" % ("/".join(names), how),
+            )
+        )
+
+
+@register
+class ConstantTimeRule(Rule):
+    """SEC003: ``==``/``!=`` on secret bytes instead of
+    ``hmac.compare_digest``."""
+
+    rule_id = "SEC003"
+    name = "non-constant-time-comparison"
+    rationale = (
+        "Equality on bytes short-circuits at the first mismatch; timing "
+        "reveals how much of a secret matched.  Secret byte strings "
+        "(DRBG state, MACs, seeds) must use hmac.compare_digest."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Find ``==``/``!=`` comparisons on secret byte strings."""
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            for operand in [node.left, *node.comparators]:
+                name = self._direct_secret(operand, ctx)
+                if name is not None:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            "secret bytes %r compared with ==/!=; use "
+                            "hmac.compare_digest" % name,
+                        )
+                    )
+                    break
+        return findings
+
+    @staticmethod
+    def _direct_secret(node: ast.AST, ctx: FileContext) -> Optional[str]:
+        name = simple_name(node)
+        if name is not None and name in ctx.config.secret_bytes_names:
+            return name
+        return None

@@ -1,0 +1,104 @@
+"""Inline suppressions: ``# seclint: disable=SEC001 -- justification``.
+
+A suppression silences named rules on one line, and the justification
+is *mandatory* — the analyzer exists because "trust me" is not an
+argument, so every override must say why.  Two placements work:
+
+* trailing — on the same line as the flagged code::
+
+      except Exception:  # seclint: disable=SEC005 -- worker must survive
+
+* standalone — alone on the line *above* the flagged code (useful when
+  the line is already long)::
+
+      # seclint: disable=SEC004 -- rebalance runs before the pool is shared
+      self._pool = rebuilt
+
+Malformed suppressions (no ``--`` separator, empty justification,
+unknown rule id) are themselves findings — SEC000, which can never be
+suppressed or baselined.
+"""
+
+from __future__ import annotations
+
+import re
+import tokenize
+from dataclasses import dataclass
+from io import StringIO
+from typing import Dict, FrozenSet, List, Tuple
+
+__all__ = ["Suppression", "collect_suppressions"]
+
+_DIRECTIVE_RE = re.compile(r"#\s*seclint:\s*(?P<body>.*)$")
+_DISABLE_RE = re.compile(
+    r"^disable=(?P<ids>[A-Z0-9,\s]+?)(?:\s+--\s*(?P<why>.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed directive: which rules it silences, on which line."""
+
+    line: int
+    rule_ids: FrozenSet[str]
+    justification: str
+
+
+def collect_suppressions(
+    source: str, known_ids: FrozenSet[str]
+) -> Tuple[Dict[int, Suppression], List[Tuple[int, str]]]:
+    """Parse all directives out of ``source``.
+
+    Returns ``(by_line, problems)`` where ``by_line`` maps the line a
+    suppression *applies to* (the comment's own line for trailing
+    comments, the following line for standalone ones) to the parsed
+    :class:`Suppression`, and ``problems`` lists ``(line, reason)``
+    pairs for malformed directives.
+    """
+    by_line: Dict[int, Suppression] = {}
+    problems: List[Tuple[int, str]] = []
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # the engine reports unparseable files separately
+        return by_line, problems
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE_RE.search(token.string)
+        if match is None:
+            continue
+        line = token.start[0]
+        body = match.group("body").strip()
+        parsed = _DISABLE_RE.match(body)
+        if parsed is None:
+            problems.append(
+                (line, "malformed seclint directive %r (expected "
+                       "'disable=SEC0xx -- justification')" % body)
+            )
+            continue
+        ids = frozenset(
+            part.strip() for part in parsed.group("ids").split(",") if part.strip()
+        )
+        why = (parsed.group("why") or "").strip()
+        if not ids:
+            problems.append((line, "suppression names no rule ids"))
+            continue
+        unknown = sorted(ids - known_ids)
+        if unknown:
+            problems.append(
+                (line, "suppression names unknown rule id(s): %s"
+                       % ", ".join(unknown))
+            )
+            continue
+        if not why:
+            problems.append(
+                (line, "suppression for %s is missing its justification "
+                       "('-- why this is safe')" % ", ".join(sorted(ids)))
+            )
+            continue
+        before = lines[line - 1][: token.start[1]] if line <= len(lines) else ""
+        target = line + 1 if not before.strip() else line
+        by_line[target] = Suppression(target, ids, why)
+    return by_line, problems

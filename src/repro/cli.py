@@ -374,10 +374,12 @@ def cmd_keygen(args, out) -> int:
     keypair = generate_keypair(args.bits, args.seed)
     out.write("paillier key pair, %d-bit modulus\n" % keypair.public.bits)
     out.write("n = %d\n" % keypair.public.n)
-    out.write("p = %d\n" % keypair.private.p)
-    out.write("q = %d\n" % keypair.private.q)
+    # keygen's whole contract is to hand the caller the key they just
+    # generated; p/q go to the key's owner on stdout, nowhere else.
+    out.write("p = %d\n" % keypair.private.p)  # seclint: disable=SEC001 -- keygen prints the owner's own private key
+    out.write("q = %d\n" % keypair.private.q)  # seclint: disable=SEC001 -- keygen prints the owner's own private key
     if args.seed is not None:
-        out.write("(deterministic: seed=%r — for testing only)\n" % args.seed)
+        out.write("(deterministic: seed=%r — for testing only)\n" % args.seed)  # seclint: disable=SEC001 -- echoes the --seed flag the caller typed
     return 0
 
 

@@ -200,7 +200,7 @@ class DamgardJurikScheme(AdditiveHomomorphicScheme):
         self.engine = engine
         self.use_multiexp = use_multiexp
 
-    def generate(self, bits: int = 512, rng=None) -> SchemeKeyPair:
+    def generate(self, bits: int = 512, rng: Union[RandomSource, bytes, str, int, None] = None) -> SchemeKeyPair:
         """Generate a key pair (scheme-interface hook)."""
         return generate_dj_keypair(bits, self.s, rng)
 
@@ -212,7 +212,12 @@ class DamgardJurikScheme(AdditiveHomomorphicScheme):
         """Wire size of one ciphertext in bytes (scheme-interface hook)."""
         return bytes_for_bits((public.s + 1) * public.bits)
 
-    def encrypt(self, public: DamgardJurikPublicKey, plaintext: int, rng=None) -> int:
+    def encrypt(
+        self,
+        public: DamgardJurikPublicKey,
+        plaintext: int,
+        rng: Union[RandomSource, bytes, str, int, None] = None,
+    ) -> int:
         """Encrypt a plaintext into a fresh ciphertext (scheme-interface hook)."""
         return public.encrypt_raw(plaintext, as_random_source(rng))
 
@@ -234,7 +239,12 @@ class DamgardJurikScheme(AdditiveHomomorphicScheme):
         """A deterministic encryption of zero (scheme-interface hook)."""
         return 1
 
-    def rerandomize(self, public: DamgardJurikPublicKey, a: int, rng=None) -> int:
+    def rerandomize(
+        self,
+        public: DamgardJurikPublicKey,
+        a: int,
+        rng: Union[RandomSource, bytes, str, int, None] = None,
+    ) -> int:
         """Refresh a ciphertext's randomness, preserving the plaintext (scheme-interface hook)."""
         zero = public.encrypt_raw(0, as_random_source(rng))
         return a * zero % public.modulus

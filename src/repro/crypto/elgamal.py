@@ -193,7 +193,7 @@ class ExponentialElGamalScheme(AdditiveHomomorphicScheme):
             raise ValueError("max_plaintext must be positive")
         self.max_plaintext = max_plaintext
 
-    def generate(self, bits: int = 256, rng=None) -> SchemeKeyPair:
+    def generate(self, bits: int = 256, rng: Union[RandomSource, bytes, str, int, None] = None) -> SchemeKeyPair:
         """Generate a key pair (scheme-interface hook)."""
         return generate_elgamal_keypair(bits, rng)
 
@@ -205,30 +205,44 @@ class ExponentialElGamalScheme(AdditiveHomomorphicScheme):
         """Wire size of one ciphertext in bytes (scheme-interface hook)."""
         return 2 * bytes_for_bits(public.group.p.bit_length())
 
-    def encrypt(self, public: ElGamalPublicKey, plaintext: int, rng=None):
+    def encrypt(
+        self,
+        public: ElGamalPublicKey,
+        plaintext: int,
+        rng: Union[RandomSource, bytes, str, int, None] = None,
+    ) -> Tuple[int, int]:
         """Encrypt a plaintext into a fresh ciphertext (scheme-interface hook)."""
         return public.encrypt_raw(plaintext, as_random_source(rng))
 
-    def decrypt(self, private: ElGamalPrivateKey, ciphertext) -> int:
+    def decrypt(self, private: ElGamalPrivateKey, ciphertext: Tuple[int, int]) -> int:
         """Decrypt a ciphertext to its representative in [0, M) (scheme-interface hook)."""
         return private.decrypt_raw(ciphertext, self.max_plaintext)
 
-    def ciphertext_add(self, public: ElGamalPublicKey, a, b):
+    def ciphertext_add(
+        self, public: ElGamalPublicKey, a: Tuple[int, int], b: Tuple[int, int]
+    ) -> Tuple[int, int]:
         """Homomorphic addition of two ciphertexts (scheme-interface hook)."""
         p = public.group.p
         return (a[0] * b[0] % p, a[1] * b[1] % p)
 
-    def ciphertext_scale(self, public: ElGamalPublicKey, a, scalar: int):
+    def ciphertext_scale(
+        self, public: ElGamalPublicKey, a: Tuple[int, int], scalar: int
+    ) -> Tuple[int, int]:
         """Homomorphic scalar multiplication (scheme-interface hook)."""
         p = public.group.p
         k = scalar % public.group.q
         return (pow(a[0], k, p), pow(a[1], k, p))
 
-    def identity(self, public: ElGamalPublicKey):
+    def identity(self, public: ElGamalPublicKey) -> Tuple[int, int]:
         """A deterministic encryption of zero (scheme-interface hook)."""
         return (1, 1)
 
-    def rerandomize(self, public: ElGamalPublicKey, a, rng=None):
+    def rerandomize(
+        self,
+        public: ElGamalPublicKey,
+        a: Tuple[int, int],
+        rng: Union[RandomSource, bytes, str, int, None] = None,
+    ) -> Tuple[int, int]:
         """Refresh a ciphertext's randomness, preserving the plaintext (scheme-interface hook)."""
         zero = public.encrypt_raw(0, as_random_source(rng))
         return self.ciphertext_add(public, a, zero)

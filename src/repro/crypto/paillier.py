@@ -500,7 +500,9 @@ class PaillierScheme(AdditiveHomomorphicScheme):
         self.engine = engine
         self.use_multiexp = use_multiexp
 
-    def generate(self, bits: int = DEFAULT_KEY_BITS, rng=None) -> SchemeKeyPair:
+    def generate(
+        self, bits: int = DEFAULT_KEY_BITS, rng: Union[RandomSource, bytes, str, int, None] = None
+    ) -> SchemeKeyPair:
         """Generate a key pair (scheme-interface hook)."""
         return generate_keypair(bits, rng)
 
@@ -512,7 +514,12 @@ class PaillierScheme(AdditiveHomomorphicScheme):
         """Wire size of one ciphertext in bytes (scheme-interface hook)."""
         return ciphertext_bytes(public.bits)
 
-    def encrypt(self, public: PaillierPublicKey, plaintext: int, rng=None) -> int:
+    def encrypt(
+        self,
+        public: PaillierPublicKey,
+        plaintext: int,
+        rng: Union[RandomSource, bytes, str, int, None] = None,
+    ) -> int:
         """Encrypt a plaintext into a fresh ciphertext (scheme-interface hook)."""
         return public.encrypt_raw(plaintext, as_random_source(rng))
 
@@ -532,7 +539,12 @@ class PaillierScheme(AdditiveHomomorphicScheme):
         """A deterministic encryption of zero (scheme-interface hook)."""
         return 1
 
-    def rerandomize(self, public: PaillierPublicKey, a: int, rng=None) -> int:
+    def rerandomize(
+        self,
+        public: PaillierPublicKey,
+        a: int,
+        rng: Union[RandomSource, bytes, str, int, None] = None,
+    ) -> int:
         """Refresh a ciphertext's randomness, preserving the plaintext (scheme-interface hook)."""
         return a * public.obfuscator(as_random_source(rng)) % public.nsquare
 
@@ -542,7 +554,7 @@ class PaillierScheme(AdditiveHomomorphicScheme):
         self,
         public: PaillierPublicKey,
         plaintexts: Sequence[int],
-        rng=None,
+        rng: Union[RandomSource, bytes, str, int, None] = None,
     ) -> Tuple[int, ...]:
         """Encrypt a plaintext vector, through the engine when one is set."""
         if self.engine is not None and self.engine.supports_key(public):

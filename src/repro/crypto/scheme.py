@@ -38,7 +38,7 @@ class SchemeKeyPair:
         self.public = public
         self.private = private
 
-    def __iter__(self):
+    def __iter__(self) -> Any:
         return iter((self.public, self.private))
 
     def __repr__(self) -> str:

@@ -121,7 +121,7 @@ class SimulatedPaillier(AdditiveHomomorphicScheme):
 
     # -- key management ---------------------------------------------------
 
-    def generate(self, bits: int = 512, rng=None) -> SchemeKeyPair:
+    def generate(self, bits: int = 512, rng: Union[RandomSource, bytes, str, int, None] = None) -> SchemeKeyPair:
         """Generate a key pair (scheme-interface hook)."""
         source = as_random_source(rng) if rng is not None else self._rng
         # Any odd modulus of the right size; no primality needed without
@@ -142,7 +142,10 @@ class SimulatedPaillier(AdditiveHomomorphicScheme):
     # -- operations ----------------------------------------------------------
 
     def encrypt(
-        self, public: SimulatedPublicKey, plaintext: int, rng=None
+        self,
+        public: SimulatedPublicKey,
+        plaintext: int,
+        rng: Union[RandomSource, bytes, str, int, None] = None,
     ) -> SimCiphertext:
         """Encrypt a plaintext into a fresh ciphertext (scheme-interface hook)."""
         return SimCiphertext(public.key_id, plaintext % public.n, next(self._nonce))
@@ -180,7 +183,10 @@ class SimulatedPaillier(AdditiveHomomorphicScheme):
         return SimCiphertext(public.key_id, 0, 0)
 
     def rerandomize(
-        self, public: SimulatedPublicKey, a: SimCiphertext, rng=None
+        self,
+        public: SimulatedPublicKey,
+        a: SimCiphertext,
+        rng: Union[RandomSource, bytes, str, int, None] = None,
     ) -> SimCiphertext:
         """Refresh a ciphertext's randomness, preserving the plaintext (scheme-interface hook)."""
         self._check(public, a)

@@ -453,11 +453,13 @@ class SpfeServer:
             connection, peer = item
             try:
                 self._serve_connection(connection, peer)
-            except Exception as exc:  # noqa: BLE001
+            # seclint: disable=SEC005 -- worker threads must survive session bugs
+            except Exception as exc:
                 # A bug in session handling must cost one connection,
                 # never a worker: a silently shrinking pool turns the
                 # server into a BUSY-shedding brick while looking
-                # healthy from the outside.
+                # healthy from the outside (regression:
+                # test_worker_survives_internal_error).
                 self.stats.add("sessions_dropped")
                 self._note("dropped %s: internal error: %r" % (peer, exc))
                 try:

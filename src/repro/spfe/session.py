@@ -367,7 +367,8 @@ class SessionRegistry:
         # tests; real _ResumeState always carries resident_bytes.
         return getattr(state, "resident_bytes", 0)
 
-    def _evict_lru(self) -> None:
+    def _evict_lru_locked(self) -> None:
+        """Evict the LRU entry; caller holds ``self._lock``."""
         _, evicted = self._states.popitem(last=False)
         self.resident_bytes -= self._state_bytes(evicted)
         self.evictions += 1
@@ -387,13 +388,13 @@ class SessionRegistry:
             self.resident_bytes += self._state_bytes(state)
             self._states.move_to_end(session_id)
             while len(self._states) > self.capacity:
-                self._evict_lru()
+                self._evict_lru_locked()
             if self.max_bytes is not None:
                 while (
                     len(self._states) > 1
                     and self.resident_bytes > self.max_bytes
                 ):
-                    self._evict_lru()
+                    self._evict_lru_locked()
 
     def get(self, session_id: bytes) -> Optional[_ResumeState]:
         """Look up (and LRU-touch) a session; None when unknown/evicted."""

@@ -1,0 +1,35 @@
+"""SEC001 negative corpus: near-misses that must NOT be flagged."""
+
+
+def size_is_metadata(weights):
+    return "weight count = %d" % len(weights)
+
+
+def type_is_metadata(seed):
+    return "seed type: %s" % type(seed).__name__
+
+
+def public_values_are_fine(n, bits):
+    raise ValueError("modulus %d too small for %d bits" % (n, bits))
+
+
+def mention_in_text_only():
+    raise ValueError("p must be an odd prime")
+
+
+def to_bytes(p):
+    # whitelisted serializer function name: serializers legitimately
+    # turn secrets into bytes
+    return p.to_bytes(64, "big")
+
+
+def non_secret_names(total, count):
+    return f"average {total / count}"
+
+
+class PublicKey:
+    def __init__(self, n):
+        self.n = n
+
+    def __repr__(self):
+        return "PublicKey(bits=%d)" % self.n.bit_length()

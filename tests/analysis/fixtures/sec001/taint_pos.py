@@ -1,0 +1,42 @@
+"""SEC001 positive corpus: registered secrets reaching leak sinks."""
+
+
+class DecryptionError(Exception):
+    pass
+
+
+def f_string_leak(p):
+    return f"prime was {p}"  # EXPECT: SEC001
+
+
+def percent_leak(q):
+    return "factor q = %d" % q  # EXPECT: SEC001
+
+
+def format_leak(weights):
+    return "weights: {}".format(weights)  # EXPECT: SEC001
+
+
+def exception_positional_leak(p):
+    raise DecryptionError("bad factor", p)  # EXPECT: SEC001
+
+
+def exception_keyword_leak(seed):
+    raise ValueError(seed=seed)  # EXPECT: SEC001
+
+
+def self_attribute_leak(key):
+    raise DecryptionError("state %r" % key._value)  # EXPECT: SEC001
+
+
+def to_bytes_leak(p):
+    return p.to_bytes(64, "big")  # EXPECT: SEC001
+
+
+class PrivateKey:
+    def __init__(self, p, q):
+        self.p = p
+        self.q = q
+
+    def __repr__(self):
+        return "PrivateKey<" + str(self.p) + ">"  # EXPECT: SEC001

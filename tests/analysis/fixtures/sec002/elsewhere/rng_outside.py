@@ -1,0 +1,11 @@
+"""SEC002 negative corpus: stdlib random OUTSIDE the restricted packages.
+
+Benchmarks and examples may use ``random`` freely; the discipline only
+binds repro/crypto and repro/spfe.
+"""
+
+import random
+
+
+def jitter():
+    return random.uniform(0.0, 1.0)

@@ -1,0 +1,16 @@
+"""SEC002 negative corpus: sanctioned randomness inside repro/crypto."""
+
+import secrets
+
+
+def draw(rng):
+    return rng.randbits(16)
+
+
+def token():
+    return secrets.token_bytes(8)
+
+
+def not_the_module(randomize):
+    # a callable merely *named* like the module is fine
+    return randomize()

@@ -1,0 +1,16 @@
+"""SEC002 positive corpus (lives under a repro/crypto path segment)."""
+
+import random  # EXPECT: SEC002
+from random import choice  # EXPECT: SEC002
+
+
+def draw():
+    return random.random()  # EXPECT: SEC002
+
+
+def pick(items):
+    return choice(items)
+
+
+def numpy_style(np):
+    return np.random.randint(0, 2)  # EXPECT: SEC002

@@ -1,0 +1,19 @@
+"""SEC003 negative corpus: constant-time and non-secret comparisons."""
+
+import hmac
+
+
+def verify_mac(mac, expected):
+    return hmac.compare_digest(mac, expected)
+
+
+def int_compare(n, modulus):
+    return n == modulus
+
+
+def length_is_metadata(mac):
+    return len(mac) == 32
+
+
+def membership_is_not_equality(tags, candidate):
+    return candidate in tags

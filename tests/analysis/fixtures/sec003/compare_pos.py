@@ -1,0 +1,16 @@
+"""SEC003 positive corpus: secret bytes compared with ==/!=."""
+
+
+def verify_mac(mac, expected):
+    return mac == expected  # EXPECT: SEC003
+
+
+def check_tag(received, tag):
+    if received != tag:  # EXPECT: SEC003
+        raise RuntimeError("bad tag")
+    return True
+
+
+class Drbg:
+    def same_state(self, other):
+        return self._key == other.state  # EXPECT: SEC003

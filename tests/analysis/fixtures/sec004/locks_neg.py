@@ -1,0 +1,41 @@
+"""SEC004 negative corpus: the discipline done right."""
+
+import threading
+from collections import OrderedDict
+
+
+class SessionRegistry:
+    def __init__(self):
+        # construction happens-before sharing: __init__ is exempt
+        self._lock = threading.Lock()
+        self._states = OrderedDict()
+        self.resident_bytes = 0
+        self.evictions = 0
+
+    def save(self, key, state):
+        with self._lock:
+            self._states[key] = state
+            self.resident_bytes += 1
+            while len(self._states) > 4:
+                self._evict_lru_locked()
+
+    def _evict_lru_locked(self):
+        # the *_locked suffix declares "caller holds the lock"
+        self._states.popitem(last=False)
+        self.evictions += 1
+
+    def lookup(self, key):
+        with self._lock:
+            # reads are allowed anywhere; only writes are disciplined
+            return self._states.get(key)
+
+    def read_without_lock(self):
+        return self.resident_bytes
+
+
+class Unrelated:
+    """Same attribute names, undeclared class: not this rule's business."""
+
+    def write(self):
+        self._states = {}
+        self.evictions = 0

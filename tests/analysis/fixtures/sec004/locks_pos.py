@@ -1,0 +1,44 @@
+"""SEC004 positive corpus: guarded writes outside the declared lock.
+
+The class names here match the default lock-guard declarations
+(:class:`repro.analysis.config.AnalysisConfig.lock_guards`), exactly as
+the real classes in the tree do.
+"""
+
+import threading
+from collections import OrderedDict
+
+
+class SessionRegistry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._states = OrderedDict()
+        self.resident_bytes = 0
+        self.evictions = 0
+
+    def save(self, key, state):
+        self._states[key] = state  # EXPECT: SEC004
+
+    def bump(self):
+        self.evictions += 1  # EXPECT: SEC004
+
+    def forget(self, key):
+        self._states.pop(key, None)  # EXPECT: SEC004
+
+    def half_guarded(self, key):
+        with self._lock:
+            self._states[key] = object()
+        self.resident_bytes -= 1  # EXPECT: SEC004
+
+    def wrong_lock(self, key):
+        with self.other_lock:
+            self._states[key] = object()  # EXPECT: SEC004
+
+
+class ServerStats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = {}
+
+    def add(self, name):
+        self._counts[name] = self._counts.get(name, 0) + 1  # EXPECT: SEC004

@@ -1,0 +1,12 @@
+"""SEC005 negative corpus: broad swallow OUTSIDE repro/crypto + repro/net.
+
+Experiment drivers may tolerate broad handlers; the hygiene rule binds
+the crypto and network core only.
+"""
+
+
+def tolerate(flaky):
+    try:
+        flaky()
+    except Exception:
+        return None

@@ -1,0 +1,30 @@
+"""SEC005 negative corpus: broad-but-honest and narrow handlers."""
+
+
+def reraise(risky):
+    try:
+        risky()
+    except Exception:
+        raise
+
+
+def convert_to_typed(risky):
+    try:
+        risky()
+    except Exception as exc:
+        raise RuntimeError("wrapped for the wire") from exc
+
+
+def conditional_reraise(risky, recoverable):
+    try:
+        risky()
+    except Exception as exc:
+        if not recoverable(exc):
+            raise
+
+
+def narrow_best_effort(close):
+    try:
+        close()
+    except OSError:
+        pass

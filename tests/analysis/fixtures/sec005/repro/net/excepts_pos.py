@@ -1,0 +1,22 @@
+"""SEC005 positive corpus (lives under a repro/net path segment)."""
+
+
+def swallow(risky):
+    try:
+        risky()
+    except Exception:  # EXPECT: SEC005
+        pass
+
+
+def bare_swallow(risky):
+    try:
+        risky()
+    except:  # EXPECT: SEC005
+        return None
+
+
+def tuple_swallow(risky, log):
+    try:
+        risky()
+    except (ValueError, Exception):  # EXPECT: SEC005
+        log("ignored")

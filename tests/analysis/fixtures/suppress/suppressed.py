@@ -1,0 +1,17 @@
+"""Valid suppressions: violations silenced with a written justification.
+
+This file must produce zero findings — both suppression placements
+(trailing, standalone-above) are exercised.
+"""
+
+
+def trailing(p):
+    return f"p={p}"  # seclint: disable=SEC001 -- fixture: trailing suppression
+
+def standalone(q):
+    # seclint: disable=SEC001 -- fixture: standalone suppression covers the next line
+    return "q=%d" % q
+
+
+def multi_rule(mac, expected):
+    return mac == expected  # seclint: disable=SEC003,SEC001 -- fixture: several ids in one directive

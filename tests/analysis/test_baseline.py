@@ -1,0 +1,158 @@
+"""Baseline file round-trip: mask existing findings, surface new ones."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths, load_baseline, write_baseline
+from repro.analysis.baseline import BaselineError, fingerprint
+from repro.analysis.cli import main
+
+LEAKY = 'def f(p):\n    return f"p={p}"\n'
+
+
+def _write_module(tmp_path: Path, source: str, name: str = "mod.py") -> Path:
+    target = tmp_path / name
+    target.write_text(source)
+    return target
+
+
+def _baseline_for(tmp_path: Path, *paths: Path) -> Path:
+    report = analyze_paths(list(paths))
+    baseline = tmp_path / "baseline.json"
+    write_baseline(
+        baseline,
+        [(f, report.line_text_for(f)) for f in report.findings],
+    )
+    return baseline
+
+
+class TestRoundTrip:
+    def test_baselined_finding_is_masked(self, tmp_path):
+        target = _write_module(tmp_path, LEAKY)
+        baseline = _baseline_for(tmp_path, target)
+        report = analyze_paths([target], baseline=load_baseline(baseline))
+        assert report.clean
+        assert len(report.baselined) == 1
+
+    def test_new_finding_still_fails(self, tmp_path):
+        target = _write_module(tmp_path, LEAKY)
+        baseline = _baseline_for(tmp_path, target)
+        target.write_text(LEAKY + '\ndef g(q):\n    return f"q={q}"\n')
+        report = analyze_paths([target], baseline=load_baseline(baseline))
+        assert not report.clean
+        assert len(report.baselined) == 1
+        assert [f.rule_id for f in report.findings] == ["SEC001"]
+        assert report.findings[0].line == 5
+
+    def test_fingerprint_tracks_line_content_not_number(self, tmp_path):
+        target = _write_module(tmp_path, LEAKY)
+        baseline = _baseline_for(tmp_path, target)
+        # shifting the finding down by two lines keeps it baselined
+        target.write_text("# comment\n# comment\n" + LEAKY)
+        report = analyze_paths([target], baseline=load_baseline(baseline))
+        assert report.clean
+        assert len(report.baselined) == 1
+
+    def test_duplicate_lines_mask_per_occurrence(self, tmp_path):
+        body = 'def f(p):\n    return f"p={p}"\n\ndef g(p):\n    return f"p={p}"\n'
+        target = _write_module(tmp_path, body)
+        report = analyze_paths([target])
+        assert len(report.findings) == 2
+        # baseline only ONE of the two identical-text findings
+        baseline = tmp_path / "baseline.json"
+        write_baseline(
+            baseline,
+            [(report.findings[0], report.line_text_for(report.findings[0]))],
+        )
+        masked = analyze_paths([target], baseline=load_baseline(baseline))
+        assert len(masked.baselined) == 1
+        assert len(masked.findings) == 1
+
+
+class TestFingerprint:
+    def test_whitespace_normalized(self, tmp_path):
+        target = _write_module(tmp_path, LEAKY)
+        finding = analyze_paths([target]).findings[0]
+        assert fingerprint(finding, '    return f"p={p}"') == fingerprint(
+            finding, 'return   f"p={p}"'
+        )
+
+    def test_distinct_rules_get_distinct_prints(self, tmp_path):
+        target = _write_module(tmp_path, LEAKY)
+        finding = analyze_paths([target]).findings[0]
+        other = finding.__class__(
+            path=finding.path,
+            line=finding.line,
+            col=finding.col,
+            rule_id="SEC003",
+            message=finding.message,
+        )
+        assert fingerprint(finding, "x") != fingerprint(other, "x")
+
+
+class TestLoadErrors:
+    def test_rejects_non_json(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("not json")
+        with pytest.raises(BaselineError):
+            load_baseline(bad)
+
+    def test_rejects_wrong_version(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(BaselineError):
+            load_baseline(bad)
+
+    def test_rejects_wrong_shape(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({"version": 1, "entries": "oops"}))
+        with pytest.raises(BaselineError):
+            load_baseline(bad)
+
+
+class TestCliFlow:
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        target = _write_module(tmp_path, LEAKY)
+        baseline = tmp_path / "baseline.json"
+        assert main([str(target), "--baseline", str(baseline)]) == 1
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    str(target),
+                    "--baseline",
+                    str(baseline),
+                    "--update-baseline",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main([str(target), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+    def test_update_baseline_refuses_sec000(self, tmp_path, capsys):
+        target = _write_module(
+            tmp_path, 'x = 1  # seclint: disable=SEC001\n'
+        )
+        baseline = tmp_path / "baseline.json"
+        code = main(
+            [str(target), "--baseline", str(baseline), "--update-baseline"]
+        )
+        assert code == 2
+        assert not baseline.exists()
+        err = capsys.readouterr().err
+        assert "SEC000" in err
+
+    def test_baseline_file_is_sorted_and_stable(self, tmp_path):
+        target = _write_module(tmp_path, LEAKY)
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        report = analyze_paths([target])
+        pairs = [(f, report.line_text_for(f)) for f in report.findings]
+        write_baseline(a, pairs)
+        write_baseline(b, list(reversed(pairs)))
+        assert a.read_text() == b.read_text()

@@ -1,0 +1,80 @@
+"""CLI contract: exit codes, output format, --list-rules, --json, module entry."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.cli import main
+from repro.analysis.registry import rule_ids
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+LEAKY = 'def f(p):\n    return f"p={p}"\n'
+CLEAN = "def f(n):\n    return n + 1\n"
+
+
+def test_exit_zero_on_clean_tree(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text(CLEAN)
+    assert main([str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+    assert "1 file(s) scanned" in out
+
+
+def test_exit_one_with_file_line_rule_output(tmp_path, capsys):
+    target = tmp_path / "leak.py"
+    target.write_text(LEAKY)
+    assert main([str(target)]) == 1
+    out = capsys.readouterr().out
+    # per-finding lines carry the file:line:col: SEC0xx shape
+    assert "leak.py:2:" in out
+    assert "SEC001" in out
+
+
+def test_exit_two_on_missing_path(tmp_path, capsys):
+    assert main([str(tmp_path / "nope")]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_exit_two_on_no_paths(capsys):
+    assert main([]) == 2
+
+
+def test_list_rules_covers_registry(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in rule_ids():
+        assert rule_id in out
+    assert "SEC000" in out
+
+
+def test_json_output_is_parseable(tmp_path, capsys):
+    target = tmp_path / "leak.py"
+    target.write_text(LEAKY)
+    assert main([str(target), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_scanned"] == 1
+    assert payload["findings"][0]["rule"] == "SEC001"
+    assert payload["findings"][0]["line"] == 2
+
+
+def test_module_entry_point(tmp_path):
+    target = tmp_path / "leak.py"
+    target.write_text(LEAKY)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(target)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 1
+    assert "SEC001" in proc.stdout
+
+
+def test_self_scan_of_repo_src_is_clean():
+    """The committed tree must pass its own gate (the CI invariant)."""
+    baseline = REPO_ROOT / ".seclint-baseline.json"
+    args = [str(SRC), "--baseline", str(baseline)]
+    assert main(args) == 0

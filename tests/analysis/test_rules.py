@@ -1,0 +1,153 @@
+"""Corpus-driven rule tests: every seeded violation found, no extras.
+
+The fixtures under ``fixtures/`` carry ``# EXPECT: SEC0xx`` markers on
+each seeded violation line.  Analyzing the whole corpus must produce
+exactly the marked ``(file, line, rule)`` triples — any miss is a
+false negative, any extra is a false positive on the negative corpus.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import AnalysisConfig, analyze_paths
+from repro.analysis.context import FileContext
+from repro.analysis.engine import iter_python_files
+from repro.analysis.registry import all_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_EXPECT_RE = re.compile(r"#\s*EXPECT:\s*([A-Z0-9,\s]+)$")
+
+
+def expected_findings():
+    """(basename, line, rule) triples declared by the EXPECT markers."""
+    expected = set()
+    for path in iter_python_files([FIXTURES]):
+        for lineno, text in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            match = _EXPECT_RE.search(text)
+            if match is None:
+                continue
+            for rule_id in match.group(1).split(","):
+                expected.add((path.name, lineno, rule_id.strip()))
+    return expected
+
+
+def actual_findings():
+    report = analyze_paths([FIXTURES])
+    return report, {
+        (Path(f.path).name, f.line, f.rule_id) for f in report.findings
+    }
+
+
+def test_corpus_matches_expect_markers_exactly():
+    expected = expected_findings()
+    assert expected, "corpus must seed at least one violation"
+    report, actual = actual_findings()
+    missed = expected - actual
+    false_positives = actual - expected
+    assert not missed, "seeded violations not detected: %r" % sorted(missed)
+    assert not false_positives, (
+        "false positives on the corpus: %r" % sorted(false_positives)
+    )
+
+
+def test_every_rule_has_positive_and_negative_coverage():
+    expected = expected_findings()
+    seeded_rules = {rule_id for _, _, rule_id in expected}
+    for rule in all_rules():
+        assert rule.rule_id in seeded_rules, (
+            "no positive fixture for %s" % rule.rule_id
+        )
+
+
+def test_corpus_exit_is_nonzero_via_cli(capsys):
+    from repro.analysis.cli import main
+
+    code = main([str(FIXTURES), "--no-baseline"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "SEC001" in out and "SEC005" in out
+
+
+def test_valid_suppressions_silence_and_are_counted():
+    report, actual = actual_findings()
+    suppressed_files = {
+        Path(f.path).name for f, _ in report.suppressed
+    }
+    assert suppressed_files == {"suppressed.py"}
+    assert len(report.suppressed) == 3
+    assert all(why for _, why in report.suppressed)
+
+
+def test_path_scoping_spares_code_outside_restricted_packages():
+    _, actual = actual_findings()
+    flagged_files = {name for name, _, _ in actual}
+    assert "rng_outside.py" not in flagged_files
+    assert "excepts_outside.py" not in flagged_files
+
+
+def test_deterministic_ordering_and_input_order_invariance():
+    first = analyze_paths([FIXTURES]).findings
+    second = analyze_paths([FIXTURES]).findings
+    assert first == second
+    assert first == sorted(first)
+    # handing the engine every file individually, in reverse order,
+    # must not change the report
+    files = list(reversed(iter_python_files([FIXTURES])))
+    third = analyze_paths(files).findings
+    assert third == first
+
+
+def test_custom_config_overrides_secret_registry(tmp_path):
+    target = tmp_path / "custom.py"
+    target.write_text("def f(card_number):\n    return f'{card_number}'\n")
+    silent = analyze_paths([target])
+    assert silent.clean
+    config = AnalysisConfig(secret_names=frozenset({"card_number"}))
+    loud = analyze_paths([target], config=config)
+    assert [f.rule_id for f in loud.findings] == ["SEC001"]
+
+
+def test_unparseable_file_is_a_hard_finding(tmp_path):
+    target = tmp_path / "broken.py"
+    target.write_text("def broken(:\n")
+    report = analyze_paths([target])
+    assert [f.rule_id for f in report.findings] == ["SEC000"]
+    assert "could not parse" in report.findings[0].message
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "import random\n",
+        "import random as rnd\n",
+        "from random import shuffle\n",
+        "def f(random):\n    return random.random()\n",
+    ],
+)
+def test_sec002_variants(tmp_path, snippet):
+    crypto_dir = tmp_path / "repro" / "crypto"
+    crypto_dir.mkdir(parents=True)
+    (crypto_dir / "mod.py").write_text(snippet)
+    report = analyze_paths([tmp_path])
+    assert report.findings, "expected SEC002 for %r" % snippet
+    assert {f.rule_id for f in report.findings} == {"SEC002"}
+
+
+def test_sec004_respects_declared_lock_only():
+    source = (
+        "class SessionRegistry:\n"
+        "    def save(self, k):\n"
+        "        with self._lock:\n"
+        "            self._states[k] = 1\n"
+        "    def racy(self, k):\n"
+        "        self._states[k] = 1\n"
+    )
+    ctx = FileContext.from_source(source, AnalysisConfig())
+    rule = next(r for r in all_rules() if r.rule_id == "SEC004")
+    findings = list(rule.check(ctx))
+    assert [f.line for f in findings] == [6]

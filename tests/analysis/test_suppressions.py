@@ -1,0 +1,120 @@
+"""Suppression directive semantics: justification required, SEC000 on abuse."""
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+from repro.analysis.registry import rule_ids
+from repro.analysis.suppressions import collect_suppressions
+
+
+def _analyze(tmp_path: Path, source: str):
+    target = tmp_path / "mod.py"
+    target.write_text(source)
+    return analyze_paths([target])
+
+
+LEAK = 'def f(p):\n    return f"p={p}"'
+
+
+class TestValidDirectives:
+    def test_trailing_suppression_with_justification(self, tmp_path):
+        report = _analyze(
+            tmp_path,
+            'def f(p):\n'
+            '    return f"p={p}"  # seclint: disable=SEC001 -- test: owner-facing output\n',
+        )
+        assert report.clean
+        assert len(report.suppressed) == 1
+        finding, why = report.suppressed[0]
+        assert finding.rule_id == "SEC001"
+        assert why == "test: owner-facing output"
+
+    def test_standalone_suppression_covers_next_line(self, tmp_path):
+        report = _analyze(
+            tmp_path,
+            "def f(p):\n"
+            "    # seclint: disable=SEC001 -- test: standalone placement\n"
+            '    return f"p={p}"\n',
+        )
+        assert report.clean
+        assert len(report.suppressed) == 1
+
+    def test_multiple_ids_in_one_directive(self, tmp_path):
+        report = _analyze(
+            tmp_path,
+            "def f(mac, p):\n"
+            '    return f"{p}" if mac == p else ""'
+            "  # seclint: disable=SEC001,SEC003 -- test: both rules\n",
+        )
+        assert report.clean
+        assert {f.rule_id for f, _ in report.suppressed} == {"SEC001", "SEC003"}
+
+    def test_suppression_only_silences_named_rules(self, tmp_path):
+        report = _analyze(
+            tmp_path,
+            "def f(mac, other):\n"
+            "    return mac == other  # seclint: disable=SEC001 -- test: wrong rule named\n",
+        )
+        assert [f.rule_id for f in report.findings] == ["SEC003"]
+
+
+class TestMalformedDirectives:
+    def test_missing_justification_is_sec000_and_does_not_suppress(
+        self, tmp_path
+    ):
+        report = _analyze(
+            tmp_path,
+            'def f(p):\n    return f"p={p}"  # seclint: disable=SEC001\n',
+        )
+        rules = sorted(f.rule_id for f in report.findings)
+        assert rules == ["SEC000", "SEC001"]
+        assert not report.suppressed
+        sec000 = [f for f in report.findings if f.rule_id == "SEC000"][0]
+        assert "justification" in sec000.message
+
+    def test_unknown_rule_id_is_sec000(self, tmp_path):
+        report = _analyze(
+            tmp_path,
+            'def f(p):\n'
+            '    return f"p={p}"  # seclint: disable=SEC999 -- bogus rule\n',
+        )
+        rules = sorted(f.rule_id for f in report.findings)
+        assert rules == ["SEC000", "SEC001"]
+        assert "unknown rule id" in report.findings[0].message
+
+    def test_garbled_directive_is_sec000(self, tmp_path):
+        report = _analyze(
+            tmp_path,
+            "def f():\n    return 1  # seclint: enable=SEC001 -- wrong verb\n",
+        )
+        assert [f.rule_id for f in report.findings] == ["SEC000"]
+        assert "malformed" in report.findings[0].message
+
+    def test_sec000_cannot_be_suppressed(self, tmp_path):
+        report = _analyze(
+            tmp_path,
+            "def f():\n"
+            "    return 1  # seclint: disable=SEC001  # seclint: disable=SEC000 -- nope\n",
+        )
+        assert any(f.rule_id == "SEC000" for f in report.findings)
+
+
+class TestParser:
+    def test_collects_lines_and_ids(self):
+        source = (
+            "x = 1  # seclint: disable=SEC001 -- why not\n"
+            "# seclint: disable=SEC002,SEC003 -- standalone\n"
+            "y = 2\n"
+        )
+        by_line, problems = collect_suppressions(source, rule_ids())
+        assert not problems
+        assert by_line[1].rule_ids == frozenset({"SEC001"})
+        # the standalone directive on line 2 applies to line 3
+        assert by_line[3].rule_ids == frozenset({"SEC002", "SEC003"})
+        assert by_line[3].justification == "standalone"
+
+    def test_non_directive_comments_ignored(self):
+        by_line, problems = collect_suppressions(
+            "x = 1  # plain comment\n# noqa: BLE001\n", rule_ids()
+        )
+        assert not by_line and not problems

@@ -198,3 +198,88 @@ class TestSchemeIntegration:
         assert private.raw_decrypt(fast) == sum(
             i * w for i, w in enumerate(weights)
         )
+
+
+class TestThreadSafety:
+    """Regression tests for the engine's internal lock.
+
+    One engine instance is shared by every server worker thread, so its
+    counters, fixed-base cache, and pool handle are all cross-thread
+    state.  These tests hammer that state from several threads and check
+    that no update is lost and no result is corrupted; before the lock
+    was added they failed intermittently with dropped counter increments.
+    """
+
+    def _hammer(self, engine, public, threads, calls_per_thread):
+        import threading
+
+        errors = []
+        results = {}
+
+        def work(tid):
+            try:
+                for i in range(calls_per_thread):
+                    plaintexts = [tid * 100 + i, tid, i]
+                    cts = engine.encrypt_vector(
+                        public, plaintexts, "thread-%d-%d" % (tid, i)
+                    )
+                    results[(tid, i)] = (plaintexts, cts)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        pool = [
+            threading.Thread(target=work, args=(tid,))
+            for tid in range(threads)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        return errors, results
+
+    def test_shared_engine_counters_lose_no_updates(self, keypair):
+        public, private = keypair.public, keypair.private
+        threads, calls = 8, 25
+        with CryptoEngine(workers=1, chunk_size=2, fixed_base=True) as engine:
+            errors, results = self._hammer(engine, public, threads, calls)
+            assert not errors
+            # every call runs serially (workers=1) and bumps the counter
+            # exactly once; a lost update here means the lock regressed
+            assert engine.serial_batches == threads * calls
+            assert engine.parallel_batches == 0
+        assert len(results) == threads * calls
+        for plaintexts, cts in results.values():
+            assert [private.raw_decrypt(ct) for ct in cts] == plaintexts
+
+    def test_concurrent_first_use_creates_one_pool(self, keypair):
+        public, private = keypair.public, keypair.private
+        threads, calls = 4, 2
+        with CryptoEngine(workers=2, chunk_size=2) as engine:
+            errors, results = self._hammer(engine, public, threads, calls)
+            assert not errors
+            assert (
+                engine.parallel_batches + engine.serial_batches
+                == threads * calls
+            )
+        for plaintexts, cts in results.values():
+            assert [private.raw_decrypt(ct) for ct in cts] == plaintexts
+
+    def test_concurrent_fixed_base_cache_is_consistent(self, keypair):
+        import threading
+
+        public = keypair.public
+        with CryptoEngine(workers=1, fixed_base=True) as engine:
+            seen = []
+
+            def fetch():
+                source = DeterministicRandom("fixed-base-race")
+                seen.append(engine._fixed_base_generator(public, source))
+
+            pool = [threading.Thread(target=fetch) for _ in range(8)]
+            for t in pool:
+                t.start()
+            for t in pool:
+                t.join()
+            assert len(seen) == 8
+            assert all(entry == seen[0] for entry in seen)
+            assert len(engine._fixed_base_h) == 1
