@@ -1,0 +1,90 @@
+"""Hot-path cost of the observability instruments, in ns per operation.
+
+The instruments in :mod:`repro.obs.registry` sit on the server's hot
+paths — a counter bump per accounting event, a histogram observation
+per engine batch and per phase span — so their cost must be known, not
+guessed.  This benchmark measures the per-operation overhead of each
+instrument (and of :meth:`ServerStats.add`, the server's view over
+them) against a bare attribute increment, and writes the numbers to
+``BENCH_obs_overhead.json`` at the repo root so future PRs can cite
+the price of instrumenting a new path.
+
+The only assertion is a very loose ceiling (each operation under
+100 microseconds) — instruments are one lock acquisition plus constant
+work, and this bound catches only pathological regressions (an O(n)
+scan per bump, a lock convoy) without flaking on slow CI runners.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.net.server import ServerStats
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+OPS = 20_000
+ROUNDS = 3  # best-of-N rejects scheduler noise
+CEILING_NS = 100_000  # 100 us: pathology guard, not a performance target
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs_overhead.json"
+
+
+def ns_per_op(fn, ops=OPS, rounds=ROUNDS):
+    """Best-of-``rounds`` nanoseconds per call of ``fn``."""
+    best = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        for _ in range(ops):
+            fn()
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best * 1e9 / ops
+
+
+class _Bare:
+    """Baseline: an unlocked attribute increment."""
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self):
+        self.value += 1
+
+
+def test_instrument_overhead_is_bounded():
+    registry = MetricsRegistry()
+    counter = registry.counter("bench_total")
+    gauge = registry.gauge("bench_gauge")
+    histogram = registry.histogram("bench_seconds")
+    labelled = registry.counter("bench_labelled_total", labels={"mode": "x"})
+    stats = ServerStats(registry)
+    attached = Tracer(registry=registry)
+    detached = Tracer()
+    bare = _Bare()
+
+    results = {
+        "bare_attribute_inc_ns": ns_per_op(bare.inc),
+        "counter_inc_ns": ns_per_op(counter.inc),
+        "labelled_counter_inc_ns": ns_per_op(labelled.inc),
+        "gauge_set_ns": ns_per_op(lambda: gauge.set(7)),
+        "histogram_observe_ns": ns_per_op(lambda: histogram.observe(0.02)),
+        "server_stats_add_ns": ns_per_op(lambda: stats.add("bytes_in")),
+        "tracer_record_detached_ns": ns_per_op(
+            lambda: detached.record("fold", 0.01)
+        ),
+        "tracer_record_attached_ns": ns_per_op(
+            lambda: attached.record("fold", 0.01)
+        ),
+        "ops_per_measurement": OPS,
+    }
+    RESULT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print("\n" + json.dumps(results, indent=2, sort_keys=True))
+
+    for name, cost_ns in results.items():
+        if not name.endswith("_ns"):
+            continue
+        assert cost_ns < CEILING_NS, (
+            "%s costs %.0f ns/op (ceiling %d)" % (name, cost_ns, CEILING_NS)
+        )

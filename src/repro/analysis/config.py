@@ -107,7 +107,18 @@ class AnalysisConfig:
             "_lock",
             frozenset({"_states", "resident_bytes", "evictions"}),
         ),
-        LockGuard("ServerStats", "_lock", frozenset({"_counts"})),
+        # the observability instruments every subsystem now shares
+        LockGuard("Counter", "_lock", frozenset({"_value"})),
+        LockGuard("Gauge", "_lock", frozenset({"_value"})),
+        LockGuard(
+            "Histogram",
+            "_lock",
+            frozenset({"_bucket_counts", "_sum_value", "_count"}),
+        ),
+        LockGuard("MetricsRegistry", "_lock", frozenset({"_metrics", "_kinds"})),
+        LockGuard(
+            "Tracer", "_lock", frozenset({"_spans", "_totals", "_counts"})
+        ),
         LockGuard(
             "RandomnessPool",
             "_lock",

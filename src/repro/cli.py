@@ -14,6 +14,8 @@ Commands:
   holds a database and answers one private-sum query per connection;
   ``query`` connects, streams its encrypted selection, and prints the
   decrypted sum.
+* ``stats`` — scrape a running server's ``--stats-port`` endpoint and
+  pretty-print its metrics (counters, gauges, histogram summaries).
 
 Every command is a plain function of parsed arguments; ``main`` returns
 a process exit code, so the test suite drives the CLI in-process.
@@ -76,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-multiexp", action="store_true",
         help="disable the simultaneous-multiexp aggregation kernel "
         "(naive per-ciphertext pow; for comparison)",
+    )
+    sum_cmd.add_argument(
+        "--metrics-json", metavar="PATH", default=None,
+        help="write the run's metrics registry (phase breakdown, engine "
+        "batches) to PATH as structured JSON",
     )
 
     est_cmd = commands.add_parser("estimate", help="predict a query's cost")
@@ -166,6 +173,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-multiexp", action="store_true",
         help="fold chunks with naive per-ciphertext pow instead of the "
         "simultaneous-multiexp kernel",
+    )
+    serve_cmd.add_argument(
+        "--stats-port", type=int, default=None, metavar="PORT",
+        help="serve /metrics, /metrics.json, and /healthz on this extra "
+        "port (0 = ephemeral; disabled by default)",
+    )
+    serve_cmd.add_argument(
+        "--metrics-json", metavar="PATH", default=None,
+        help="after shutdown, write the final metrics registry to PATH "
+        "as structured JSON",
+    )
+
+    stats_cmd = commands.add_parser(
+        "stats", help="pretty-print a server's /metrics endpoint"
+    )
+    stats_cmd.add_argument(
+        "url",
+        help="stats endpoint, e.g. http://127.0.0.1:9464 (the "
+        "/metrics.json path is appended when missing)",
     )
 
     query_cmd = commands.add_parser(
@@ -260,11 +286,43 @@ def cmd_demo(args, out) -> int:
     return 0
 
 
+def _write_metrics_json(registry, path: str, out) -> None:
+    """Dump ``registry`` to ``path`` as structured JSON (shared by commands)."""
+    from repro.obs.exposition import render_json_text
+
+    with open(path, "w") as handle:
+        handle.write(render_json_text(registry))
+    out.write("metrics written: %s\n" % path)
+
+
+def _record_breakdown(registry, breakdown) -> None:
+    """Feed a run's timing breakdown into phase histograms on ``registry``."""
+    from repro.obs.tracing import Tracer
+
+    tracer = Tracer(registry=registry)
+    for phase, field in (
+        ("encrypt", "client_encrypt_s"),
+        ("fold", "server_compute_s"),
+        ("communication", "communication_s"),
+        ("decrypt", "client_decrypt_s"),
+        ("offline", "offline_precompute_s"),
+        ("combine", "combine_s"),
+    ):
+        seconds = getattr(breakdown, field, 0.0)
+        if seconds:
+            tracer.record(phase, seconds)
+
+
 def cmd_sum(args, out) -> int:
     database = _load_database(args)
     indices = [int(token) for token in args.select.split(",") if token.strip()]
     selection = indices_to_bits(len(database), indices)
 
+    registry = None
+    if args.metrics_json:
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
     environment = _environment(args.env)
     mode = "measured" if args.real else "modelled"
     scheme = None
@@ -276,7 +334,9 @@ def cmd_sum(args, out) -> int:
             from repro.crypto.engine import CryptoEngine
 
             engine = CryptoEngine(
-                workers=args.workers, use_multiexp=not args.no_multiexp
+                workers=args.workers,
+                use_multiexp=not args.no_multiexp,
+                metrics=registry,
             )
         scheme = PaillierScheme(engine=engine, use_multiexp=not args.no_multiexp)
     context = environment.context(
@@ -298,6 +358,9 @@ def cmd_sum(args, out) -> int:
     else:
         out.write("modelled 2004 online time: %.2f min\n" % result.online_minutes())
     out.write("bytes moved: %d\n" % result.total_bytes)
+    if registry is not None:
+        _record_breakdown(registry, result.breakdown)
+        _write_metrics_json(registry, args.metrics_json, out)
     return 0
 
 
@@ -395,12 +458,17 @@ def cmd_serve(args, out) -> int:
     policy = ServerPolicy(
         min_key_bits=args.min_key_bits, max_key_bits=args.max_key_bits
     )
+    from repro.obs.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
     engine = None
     if args.workers > 1 or args.no_multiexp:
         from repro.crypto.engine import CryptoEngine
 
         engine = CryptoEngine(
-            workers=max(1, args.workers), use_multiexp=not args.no_multiexp
+            workers=max(1, args.workers),
+            use_multiexp=not args.no_multiexp,
+            metrics=registry,
         )
     server = SpfeServer(
         database,
@@ -413,6 +481,8 @@ def cmd_serve(args, out) -> int:
         connection_deadline_s=args.session_timeout or None,
         max_queries=args.queries,
         engine=engine,
+        metrics=registry,
+        stats_port=args.stats_port,
         log=out.write,
     )
     server.start()
@@ -424,6 +494,11 @@ def cmd_serve(args, out) -> int:
            str(args.queries) if args.queries else "unlimited",
            args.max_sessions, "%.1fs" % timeout if timeout else "no")
     )
+    if args.stats_port is not None:
+        stats_host, stats_port = server.stats_address
+        out.write(
+            "stats endpoint on http://%s:%d/metrics\n" % (stats_host, stats_port)
+        )
     # Signal handlers only work on the main thread; the in-process test
     # harness drives this command from worker threads, where the server
     # drains via --queries instead.
@@ -437,6 +512,53 @@ def cmd_serve(args, out) -> int:
         if restore is not None:
             restore()
     out.write(server.stats.summary() + "\n")
+    if args.metrics_json:
+        _write_metrics_json(registry, args.metrics_json, out)
+    return 0
+
+
+def cmd_stats(args, out) -> int:
+    import json
+
+    from repro.obs.check import scrape
+
+    url = args.url
+    if "://" not in url:
+        url = "http://" + url
+    if not url.rstrip("/").endswith("/metrics.json"):
+        url = url.rstrip("/") + "/metrics.json"
+    try:
+        status, body = scrape(url)
+    except (OSError, ValueError) as exc:
+        raise ReproError("cannot scrape %s: %s" % (url, exc)) from exc
+    if status != 200:
+        raise ReproError("HTTP %d from %s" % (status, url))
+    try:
+        metrics = json.loads(body).get("metrics", [])
+    except ValueError as exc:
+        raise ReproError("malformed JSON from %s: %s" % (url, exc)) from exc
+    if not metrics:
+        out.write("no metrics exposed at %s\n" % url)
+        return 0
+    for metric in metrics:
+        labels = metric.get("labels") or {}
+        name = metric.get("name", "?")
+        if labels:
+            name += "{%s}" % ",".join(
+                "%s=%s" % (key, value) for key, value in sorted(labels.items())
+            )
+        if metric.get("type") == "histogram":
+            count = metric.get("count", 0)
+            total = metric.get("sum", 0.0)
+            mean = total / count if count else 0.0
+            out.write(
+                "%-52s %12d obs  mean %.6f\n" % (name, count, mean)
+            )
+        else:
+            value = metric.get("value", 0)
+            if isinstance(value, float) and value == int(value):
+                value = int(value)
+            out.write("%-52s %12s\n" % (name, value))
     return 0
 
 
@@ -478,6 +600,7 @@ _COMMANDS = {
     "plan": cmd_plan,
     "serve": cmd_serve,
     "query": cmd_query,
+    "stats": cmd_stats,
 }
 
 

@@ -38,11 +38,13 @@ from __future__ import annotations
 
 import math
 import threading
+import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.crypto.multiexp import FixedBaseTable, multi_exponent
 from repro.crypto.rng import RandomSource, as_random_source
 from repro.exceptions import ParameterError
+from repro.obs.registry import Counter, Histogram, MetricsRegistry
 
 __all__ = ["CryptoEngine", "DEFAULT_CHUNK_SIZE"]
 
@@ -137,6 +139,13 @@ class CryptoEngine:
             two runs only match ciphertext-for-ciphertext when it is
             equal.
         window: bucket/table window override (None adapts per batch).
+        metrics: optional :class:`~repro.obs.registry.MetricsRegistry`;
+            when given, every chunk fan-out observes its wall-clock into
+            ``repro_engine_batch_seconds{mode=parallel|serial}``, batch
+            counts appear as ``repro_engine_batches_total``, and every
+            pool downgrade bumps ``repro_engine_pool_fallbacks_total``.
+            Pass the server's registry to expose engine health on the
+            same ``/metrics`` page.
     """
 
     def __init__(
@@ -146,6 +155,7 @@ class CryptoEngine:
         fixed_base: bool = False,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         window: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if workers < 0:
             raise ParameterError("workers must be non-negative")
@@ -170,6 +180,26 @@ class CryptoEngine:
         self.serial_batches = 0
         #: per-key fixed-base generators, keyed by modulus
         self._fixed_base_h: Dict[int, int] = {}
+        self.metrics = metrics
+        self._batch_seconds: Dict[str, Histogram] = {}
+        self._batches_total: Dict[str, Counter] = {}
+        self._pool_fallbacks: Optional[Counter] = None
+        if metrics is not None:
+            for mode in ("parallel", "serial"):
+                self._batch_seconds[mode] = metrics.histogram(
+                    "repro_engine_batch_seconds",
+                    "Wall-clock seconds per chunk fan-out, by execution mode.",
+                    labels={"mode": mode},
+                )
+                self._batches_total[mode] = metrics.counter(
+                    "repro_engine_batches_total",
+                    "Chunk batches executed, by execution mode.",
+                    labels={"mode": mode},
+                )
+            self._pool_fallbacks = metrics.counter(
+                "repro_engine_pool_fallbacks_total",
+                "Times the process pool was downgraded to the serial path.",
+            )
 
     # -- lifecycle --------------------------------------------------------
 
@@ -214,8 +244,19 @@ class CryptoEngine:
                 # seclint: disable=SEC005 -- start failure degrades to serial by design
                 except Exception:
                     self.pool_broken = True
+                    if self._pool_fallbacks is not None:
+                        self._pool_fallbacks.inc()
                     return None
             return self._pool
+
+    def _observe_batch(self, mode: str, seconds: float) -> None:
+        """Record one fan-out's duration and count (no-op without metrics)."""
+        histogram = self._batch_seconds.get(mode)
+        if histogram is not None:
+            histogram.observe(seconds)
+        counter = self._batches_total.get(mode)
+        if counter is not None:
+            counter.inc()
 
     def _run_chunks(
         self, fn: Callable[..., Any], tasks: List[Tuple[Any, ...]]
@@ -223,10 +264,12 @@ class CryptoEngine:
         """Run ``fn(*task)`` for every task, in the pool when possible."""
         pool = self._ensure_pool() if len(tasks) > 1 else None
         if pool is not None:
+            started = time.perf_counter()
             try:
                 results = list(pool.map(fn, *zip(*tasks)))
                 with self._lock:
                     self.parallel_batches += 1
+                self._observe_batch("parallel", time.perf_counter() - started)
                 return results
             # A pool broken mid-run (killed worker, BrokenProcessPool)
             # degrades to redoing the same deterministic chunks
@@ -238,10 +281,15 @@ class CryptoEngine:
                 with self._lock:
                     self.pool_broken = True
                     self._pool = None
+                if self._pool_fallbacks is not None:
+                    self._pool_fallbacks.inc()
                 pool.shutdown(wait=False, cancel_futures=True)
+        started = time.perf_counter()
+        results = [fn(*task) for task in tasks]
         with self._lock:
             self.serial_batches += 1
-        return [fn(*task) for task in tasks]
+        self._observe_batch("serial", time.perf_counter() - started)
+        return results
 
     # -- key compatibility ------------------------------------------------
 

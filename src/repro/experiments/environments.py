@@ -38,6 +38,7 @@ class Environment:
         seed: Optional[str] = None,
         scheme=None,
         mode: str = "modelled",
+        tracer=None,
     ) -> ExecutionContext:
         """Build an execution context for this environment.
 
@@ -48,6 +49,8 @@ class Environment:
             seed: deterministic randomness seed (None = secure random).
             scheme: override the homomorphic scheme.
             mode: "modelled" (paper-scale) or "measured" (live crypto).
+            tracer: optional :class:`~repro.obs.tracing.Tracer` that
+                receives every compute block's duration as a phase span.
         """
         client = self.client_profile.java() if java else self.client_profile
         server = self.server_profile.java() if java else self.server_profile
@@ -59,6 +62,7 @@ class Environment:
             key_bits=key_bits,
             mode=mode,
             rng=seed,
+            tracer=tracer,
         )
 
 

@@ -16,7 +16,9 @@ Architecture (all plain threads, no extra dependencies):
   frame and closed instead of being left to time out.  BUSY is a
   :class:`~repro.exceptions.ServerBusy` (a transient transport error)
   on the client side, so :func:`~repro.spfe.session.run_resilient`
-  retries it under its normal backoff policy.
+  retries it under its normal backoff policy.  The BUSY send itself
+  happens on a dedicated **shed thread** under a small send budget, so
+  a peer that never reads can never stall admission of honest clients.
 * a **worker pool** of ``max_sessions`` threads runs one
   :class:`~repro.spfe.session.ServerSession` per connection.  Each
   connection gets a per-read deadline *and* an optional total
@@ -29,8 +31,13 @@ Architecture (all plain threads, no extra dependencies):
 * **drain**: :meth:`SpfeServer.initiate_drain` (wired to SIGINT/SIGTERM
   by :meth:`install_signal_handlers`) stops accepting, sheds anything
   still queued, lets in-flight sessions finish under a drain deadline,
-  then force-closes stragglers.  :class:`ServerStats` counters are
-  queryable in-process at any time and summarised on shutdown.
+  then force-closes stragglers.
+* **observability**: every counter lives in a
+  :class:`~repro.obs.registry.MetricsRegistry` (:class:`ServerStats` is
+  a thin view over it), phase latencies flow through a shared
+  :class:`~repro.obs.tracing.Tracer`, and ``stats_port=...`` opts into
+  a :class:`~repro.obs.http.StatsEndpoint` serving ``/metrics`` and
+  ``/healthz`` on a separate listener.
 """
 
 from __future__ import annotations
@@ -40,7 +47,7 @@ import signal
 import socket
 import threading
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.datastore.database import ServerDatabase
 from repro.exceptions import (
@@ -51,6 +58,9 @@ from repro.exceptions import (
 )
 from repro.net import codec
 from repro.net.transport import DEFAULT_RECV_BYTES, SocketTransport
+from repro.obs.http import StatsEndpoint
+from repro.obs.registry import Counter, MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.spfe.session import ServerSession, SessionRegistry
 from repro.spfe.validation import ServerPolicy
 
@@ -61,62 +71,99 @@ DEFAULT_DRAIN_DEADLINE_S = 30.0
 #: how often blocking loops wake to check for drain (also the accept poll)
 _POLL_S = 0.1
 
+#: per-connection send budget for BUSY frames on the shed thread — small
+#: enough that even a flood of never-reading peers drains quickly
+_SHED_SEND_BUDGET_S = 0.05
+
+#: prefix turning a ServerStats field into its registry metric name
+_METRIC_PREFIX = "repro_server_"
+
+#: built-in counters and their exposition help text
+_FIELD_HELP: Dict[str, str] = {
+    "connections_accepted": "TCP connections accepted by the listener.",
+    "sessions_served": "Protocol runs served to completion.",
+    "sessions_dropped":
+        "Sessions lost to transport failures, peer disconnects, or "
+        "internal errors.",
+    "sessions_shed":
+        "Connections refused with a typed BUSY frame (admission control).",
+    "sessions_rejected": "Sessions answered with a typed ERROR frame.",
+    "validation_rejections":
+        "Rejected sessions that failed a trust-boundary or policy check.",
+    "sessions_errored_internal":
+        "Dropped sessions whose cause was a server-side internal error, "
+        "not the peer (also counted in sessions_dropped).",
+    "bytes_in": "Application bytes received across all sessions.",
+    "bytes_out": "Application bytes sent across all sessions.",
+}
+
 
 class ServerStats:
-    """Thread-safe per-server counters, queryable while serving.
+    """Named per-server counters, backed by a metrics registry.
+
+    Historically this class kept its own closed dict of counters; it is
+    now a thin view over :class:`~repro.obs.registry.MetricsRegistry`
+    :class:`~repro.obs.registry.Counter` instruments (one
+    ``repro_server_<field>_total`` each), so the same numbers that
+    :meth:`snapshot` reports in-process are scraped from ``/metrics``
+    without a second bookkeeping path that could drift.  ``add``/``get``
+    still reject unknown names — accounting typos stay loud — but the
+    field set is open: :meth:`register` adds new counters.
 
     ``sessions_served`` counts completed protocol runs; ``dropped`` is
-    transport-level losses (timeouts, resets, budget exhaustion);
+    transport-level losses (timeouts, resets, budget exhaustion), of
+    which ``sessions_errored_internal`` were the server's own fault;
     ``shed`` is admission-control rejections (BUSY); ``rejected`` is
     sessions answered with a typed ERROR, of which
     ``validation_rejections`` failed a trust-boundary or policy check.
     Byte counters aggregate the per-session accounting.
     """
 
-    _FIELDS = (
-        "connections_accepted",
-        "sessions_served",
-        "sessions_dropped",
-        "sessions_shed",
-        "sessions_rejected",
-        "validation_rejections",
-        "bytes_in",
-        "bytes_out",
-    )
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._counters: Dict[str, Counter] = {}
+        for name, help_text in _FIELD_HELP.items():
+            self.register(name, help_text)
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counts: Dict[str, int] = {name: 0 for name in self._FIELDS}
+    def register(self, name: str, help_text: str = "") -> Counter:
+        """Add (or fetch) the counter for ``name``; returns the instrument.
+
+        Call during setup, before concurrent ``add``/``get`` traffic:
+        the name->instrument map itself is not lock-guarded.
+        """
+        counter = self.metrics.counter(_METRIC_PREFIX + name + "_total", help_text)
+        self._counters[name] = counter
+        return counter
 
     def add(self, name: str, amount: int = 1) -> int:
         """Bump a counter; returns its new value."""
-        if name not in self._counts:
+        counter = self._counters.get(name)
+        if counter is None:
             raise ParameterError("unknown counter %r" % name)
-        with self._lock:
-            self._counts[name] += amount
-            return self._counts[name]
+        return counter.inc(amount)
 
     def get(self, name: str) -> int:
         """Read one counter."""
-        if name not in self._counts:
+        counter = self._counters.get(name)
+        if counter is None:
             raise ParameterError("unknown counter %r" % name)
-        with self._lock:
-            return self._counts[name]
+        return counter.value
 
     def snapshot(self) -> Dict[str, int]:
-        """A consistent copy of all counters."""
-        with self._lock:
-            return dict(self._counts)
+        """A copy of all counters (one consistent read per counter)."""
+        return {name: counter.value for name, counter in self._counters.items()}
 
     def summary(self) -> str:
         """Human-readable multi-line summary (printed on shutdown)."""
         snap = self.snapshot()
         return (
-            "sessions: %d served, %d dropped, %d shed, %d rejected "
-            "(%d validation)\nbytes: %d in, %d out (%d connections)"
+            "sessions: %d served, %d dropped (%d internal), %d shed, "
+            "%d rejected (%d validation)\n"
+            "bytes: %d in, %d out (%d connections)"
             % (
                 snap["sessions_served"],
                 snap["sessions_dropped"],
+                snap["sessions_errored_internal"],
                 snap["sessions_shed"],
                 snap["sessions_rejected"],
                 snap["validation_rejections"],
@@ -162,6 +209,15 @@ class SpfeServer:
             the server owns it once passed and closes it as the final
             step of its drain path, so worker processes never outlive
             the server.
+        metrics: optional shared
+            :class:`~repro.obs.registry.MetricsRegistry`; None builds a
+            private one.  All counters, gauges, and phase histograms of
+            this server live there (and an engine passed in can share
+            it for a single unified exposition).
+        stats_port: when not None, :meth:`start` also binds a
+            :class:`~repro.obs.http.StatsEndpoint` on ``(host,
+            stats_port)`` (0 = ephemeral; see :attr:`stats_address`)
+            serving ``/metrics``, ``/metrics.json``, and ``/healthz``.
         log: optional callable for one-line progress messages
             (``out.write``-compatible; lines end with ``\\n``).
     """
@@ -181,6 +237,8 @@ class SpfeServer:
         max_queries: int = 0,
         busy_retry_ms: int = 250,
         engine: Optional[object] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        stats_port: Optional[int] = None,
         log: Optional[Callable[[str], object]] = None,
     ) -> None:
         if max_sessions < 1:
@@ -189,6 +247,8 @@ class SpfeServer:
             raise ParameterError("accept_backlog must be positive")
         if max_queries < 0:
             raise ParameterError("max_queries must be non-negative")
+        if stats_port is not None and stats_port < 0:
+            raise ParameterError("stats_port must be non-negative")
         self.database = database
         self.host = host
         self.policy = policy if policy is not None else ServerPolicy()
@@ -204,14 +264,32 @@ class SpfeServer:
         self.max_queries = max_queries
         self.busy_retry_ms = busy_retry_ms
         self.engine = engine
-        self.stats = ServerStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = ServerStats(self.metrics)
+        self.tracer = Tracer(registry=self.metrics)
+        self.stats_port = stats_port
+        self._stats_endpoint: Optional[StatsEndpoint] = None
+        self._in_flight_gauge = self.metrics.gauge(
+            "repro_server_in_flight_sessions",
+            "Admitted sessions not yet retired (queued or being served).",
+        )
+        self._active_gauge = self.metrics.gauge(
+            "repro_server_active_connections",
+            "Connections currently attached to a worker.",
+        )
         self._log = log
         self._requested_port = port
         self._listener: Optional[socket.socket] = None
         self._queue: "queue.Queue[Optional[Tuple[socket.socket, Tuple]]]" = (
             queue.Queue(maxsize=accept_backlog)
         )
+        #: refused connections awaiting their best-effort BUSY frame;
+        #: bounded so a shed flood holds a bounded number of sockets
+        self._shed_queue: "queue.Queue[Optional[socket.socket]]" = queue.Queue(
+            maxsize=max(32, accept_backlog * 4)
+        )
         self._accept_thread: Optional[threading.Thread] = None
+        self._shed_thread: Optional[threading.Thread] = None
         self._workers: List[threading.Thread] = []
         self._active_lock = threading.Lock()
         self._active: Dict[int, SocketTransport] = {}
@@ -227,7 +305,7 @@ class SpfeServer:
     # -- lifecycle ----------------------------------------------------------
 
     def start(self) -> "SpfeServer":
-        """Bind, then launch the accept loop and the worker pool."""
+        """Bind, then launch the accept loop, shed thread, and worker pool."""
         if self._started:
             raise ParameterError("server already started")
         self._listener = socket.create_server(
@@ -235,6 +313,17 @@ class SpfeServer:
         )
         self._listener.settimeout(_POLL_S)
         self._started = True
+        if self.stats_port is not None:
+            self._stats_endpoint = StatsEndpoint(
+                self.metrics,
+                host=self.host,
+                port=self.stats_port,
+                health=self._health,
+            ).start()
+        self._shed_thread = threading.Thread(
+            target=self._shed_loop, name="spfe-shed", daemon=True
+        )
+        self._shed_thread.start()
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="spfe-accept", daemon=True
         )
@@ -260,6 +349,13 @@ class SpfeServer:
         if self._listener is None:
             raise ParameterError("server not started")
         return self._listener.getsockname()[:2]
+
+    @property
+    def stats_address(self) -> Tuple[str, int]:
+        """The stats endpoint's bound (host, port); needs ``stats_port``."""
+        if self._stats_endpoint is None:
+            raise ParameterError("stats endpoint not enabled (pass stats_port)")
+        return self._stats_endpoint.address
 
     @property
     def draining(self) -> bool:
@@ -320,6 +416,25 @@ class SpfeServer:
         """Context-manager exit: drain and stop."""
         self.stop()
 
+    def _health(self) -> Dict[str, Any]:
+        """The ``/healthz`` document: status plus liveness details."""
+        if self._stopped.is_set():
+            status = "stopped"
+        elif self._drain.is_set():
+            status = "draining"
+        else:
+            status = "ok"
+        with self._budget_lock:
+            in_flight = self._in_flight
+        return {
+            "status": status,
+            "in_flight_sessions": in_flight,
+            "workers_alive": sum(
+                1 for worker in self._workers if worker.is_alive()
+            ),
+            "max_sessions": self.max_sessions,
+        }
+
     def _finalize(self, drain_deadline_s: Optional[float]) -> None:
         """Join threads under the drain deadline; force-close stragglers."""
         with self._finalize_lock:
@@ -344,6 +459,11 @@ class SpfeServer:
                         transport.close()
                 for worker in self._workers:
                     worker.join(timeout=5.0)
+            if self._shed_thread is not None:
+                # The accept loop enqueues the sentinel on its way out; a
+                # second one covers the never-accepted edge and is inert.
+                self._shed_queue.put(None)
+                self._shed_thread.join(timeout=5.0)
             if self._listener is not None:
                 try:
                     self._listener.close()
@@ -354,6 +474,8 @@ class SpfeServer:
                 # once the workers have joined, so the kernel pool can be
                 # torn down without cutting work short.
                 self.engine.close()
+            if self._stats_endpoint is not None:
+                self._stats_endpoint.close()
             self._finalized = True
             self._stopped.set()
 
@@ -364,27 +486,50 @@ class SpfeServer:
             self._log(message + "\n")
 
     def _admit_query_budget(self) -> bool:
-        """Reserve a max_queries slot; False when the budget is spent.
+        """Reserve an in-flight slot; False when max_queries is spent.
 
         The budget counts served plus in-flight sessions, so admission
         stops as soon as enough work to satisfy the budget has *started*
         — extra clients are shed with BUSY and can retry, and a slot is
-        released if its session drops or is rejected.
+        released if its session drops or is rejected.  In-flight is
+        tracked (and exported as a gauge) even without a budget.
         """
-        if not self.max_queries:
-            return True
         with self._budget_lock:
-            served = self.stats.get("sessions_served")
-            if served + self._in_flight >= self.max_queries:
-                return False
+            if self.max_queries:
+                served = self.stats.get("sessions_served")
+                if served + self._in_flight >= self.max_queries:
+                    return False
             self._in_flight += 1
+            self._in_flight_gauge.set(self._in_flight)
             return True
 
     def _release_query_budget(self) -> None:
-        if not self.max_queries:
-            return
+        """Release an admitted slot that never became a served session."""
         with self._budget_lock:
             self._in_flight -= 1
+            self._in_flight_gauge.set(self._in_flight)
+
+    def _retire_session(self, served: bool) -> None:
+        """Atomically retire one admitted session, served or not.
+
+        The ``sessions_served`` bump and the in-flight release happen
+        under the same ``_budget_lock`` acquisition that
+        :meth:`_admit_query_budget` takes.  When they were two separate
+        steps, an admission check running between them saw the finishing
+        session counted in *both* ``served`` and in-flight and could
+        shed a connection the budget actually allowed (transient
+        double-count at the ``max_queries`` boundary).
+        """
+        drain = False
+        with self._budget_lock:
+            self._in_flight -= 1
+            self._in_flight_gauge.set(self._in_flight)
+            if served:
+                total = self.stats.add("sessions_served")
+                if self.max_queries and total >= self.max_queries:
+                    drain = True
+        if drain:
+            self.initiate_drain()
 
     def _accept_loop(self) -> None:
         assert self._listener is not None
@@ -408,7 +553,8 @@ class SpfeServer:
                 self._release_query_budget()
                 self._shed(connection, peer)
         # Drain: refuse new connections at the TCP level, shed whatever
-        # was queued but never started, then release the workers.
+        # was queued but never started, then release the workers and
+        # finally the shed thread (after its last BUSY is enqueued).
         try:
             self._listener.close()
         except OSError:
@@ -422,6 +568,7 @@ class SpfeServer:
             self._shed(connection, peer, "draining")
         for _ in self._workers:
             self._queue.put(None)
+        self._shed_queue.put(None)
 
     def _shed(
         self,
@@ -429,9 +576,39 @@ class SpfeServer:
         peer: Tuple,
         reason: str = "pool and backlog full",
     ) -> None:
-        """Refuse a connection with a typed BUSY frame (best effort)."""
+        """Refuse a connection with a typed BUSY frame (best effort).
+
+        Only counts and hands the socket to the shed thread.  The BUSY
+        send used to happen inline with a 1-second timeout, which let a
+        single peer that never reads stall the *accept loop* — and with
+        it all admission — for up to a second per shed connection.  Now
+        the accept loop never blocks on a peer: the send runs on the
+        shed thread under :data:`_SHED_SEND_BUDGET_S`.
+        """
+        self.stats.add("sessions_shed")
+        self._note("shed %s: %s" % (peer, reason))
         try:
-            connection.settimeout(1.0)
+            self._shed_queue.put_nowait(connection)
+        except queue.Full:
+            # Shed flood: skip the courtesy BUSY rather than block or
+            # hold more sockets; the client sees a plain close.
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+    def _shed_loop(self) -> None:
+        """Dedicated thread sending BUSY frames to refused connections."""
+        while True:
+            connection = self._shed_queue.get()
+            if connection is None:
+                return
+            self._send_busy(connection)
+
+    def _send_busy(self, connection: socket.socket) -> None:
+        """Send one BUSY frame under the shed budget, then close."""
+        try:
+            connection.settimeout(_SHED_SEND_BUDGET_S)
             connection.sendall(codec.encode_busy(self.busy_retry_ms))
         except OSError:
             pass
@@ -440,8 +617,6 @@ class SpfeServer:
                 connection.close()
             except OSError:
                 pass
-        self.stats.add("sessions_shed")
-        self._note("shed %s: %s" % (peer, reason))
 
     # -- worker pool --------------------------------------------------------
 
@@ -451,8 +626,9 @@ class SpfeServer:
             if item is None:
                 return
             connection, peer = item
+            served = False
             try:
-                self._serve_connection(connection, peer)
+                served = self._serve_connection(connection, peer)
             # seclint: disable=SEC005 -- worker threads must survive session bugs
             except Exception as exc:
                 # A bug in session handling must cost one connection,
@@ -461,15 +637,14 @@ class SpfeServer:
                 # healthy from the outside (regression:
                 # test_worker_survives_internal_error).
                 self.stats.add("sessions_dropped")
+                self.stats.add("sessions_errored_internal")
                 self._note("dropped %s: internal error: %r" % (peer, exc))
                 try:
                     connection.close()
                 except OSError:
                     pass
             finally:
-                # Released after _serve_connection bumps sessions_served,
-                # so the budget check never sees a gap between the two.
-                self._release_query_budget()
+                self._retire_session(served)
 
     def _budgeted_timeout(self, started: float) -> Optional[float]:
         """The next read's deadline under the connection budget."""
@@ -484,17 +659,30 @@ class SpfeServer:
             return remaining
         return min(self.read_timeout, remaining)
 
-    def _serve_connection(self, connection: socket.socket, peer: Tuple) -> None:
+    def _serve_connection(self, connection: socket.socket, peer: Tuple) -> bool:
+        """Run one session on ``connection``; True when served to completion.
+
+        All byte and outcome accounting lives in the ``finally`` block.
+        It used to run *after* the try/finally, so a non-transport error
+        raised out of the session skipped it entirely: the worker-loop
+        catch-all counted a drop, but the session's bytes vanished from
+        the server totals (lost byte accounting on internal errors).
+        Now every exit path — served, rejected, dropped, internal error
+        — accounts its bytes, and internal errors are additionally
+        counted under ``sessions_errored_internal``.
+        """
         session = ServerSession(
             self.database,
             registry=self.registry,
             policy=self.policy,
             engine=self.engine,
+            tracer=self.tracer,
         )
         transport = SocketTransport(connection, read_timeout=self.read_timeout)
         key = id(transport)
         with self._active_lock:
             self._active[key] = transport
+        self._active_gauge.inc()
         started = time.monotonic()
         outcome = "detached"
         detail = ""
@@ -512,30 +700,37 @@ class SpfeServer:
         except TransportError as exc:
             outcome = "dropped"
             detail = str(exc)
+        # seclint: disable=SEC005 -- internal bugs must still account the session
+        except Exception as exc:
+            outcome = "internal"
+            detail = repr(exc)
         finally:
             transport.close()
             with self._active_lock:
                 self._active.pop(key, None)
-        self.stats.add("bytes_in", session.bytes_received)
-        self.stats.add("bytes_out", session.bytes_sent)
-        if session.finished:
-            served = self.stats.add("sessions_served")
-            self._note(
-                "served %s: %d bytes in, %d out"
-                % (peer, session.bytes_received, session.bytes_sent)
-            )
-            if self.max_queries and served >= self.max_queries:
-                self.initiate_drain()
-        elif session.errored:
-            self.stats.add("sessions_rejected")
-            if isinstance(session.last_error, ValidationError):
-                self.stats.add("validation_rejections")
-            self._note("rejected %s: %s" % (peer, session.last_error))
-        elif outcome == "dropped":
-            self.stats.add("sessions_dropped")
-            self._note("dropped %s: %s" % (peer, detail))
-        else:
-            # Clean EOF before completion: the peer went away mid-run
-            # (it may resume on a later connection).
-            self.stats.add("sessions_dropped")
-            self._note("dropped %s: peer closed mid-session" % (peer,))
+            self._active_gauge.dec()
+            self.stats.add("bytes_in", session.bytes_received)
+            self.stats.add("bytes_out", session.bytes_sent)
+            if outcome == "internal":
+                self.stats.add("sessions_dropped")
+                self.stats.add("sessions_errored_internal")
+                self._note("dropped %s: internal error: %s" % (peer, detail))
+            elif session.finished:
+                self._note(
+                    "served %s: %d bytes in, %d out"
+                    % (peer, session.bytes_received, session.bytes_sent)
+                )
+            elif session.errored:
+                self.stats.add("sessions_rejected")
+                if isinstance(session.last_error, ValidationError):
+                    self.stats.add("validation_rejections")
+                self._note("rejected %s: %s" % (peer, session.last_error))
+            elif outcome == "dropped":
+                self.stats.add("sessions_dropped")
+                self._note("dropped %s: %s" % (peer, detail))
+            else:
+                # Clean EOF before completion: the peer went away mid-run
+                # (it may resume on a later connection).
+                self.stats.add("sessions_dropped")
+                self._note("dropped %s: peer closed mid-session" % (peer,))
+        return outcome == "detached" and session.finished

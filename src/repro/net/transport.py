@@ -37,6 +37,7 @@ from typing import Callable, Deque, Iterator, Optional, Tuple, Type, TypeVar
 
 from repro.crypto.rng import RandomSource, as_random_source
 from repro.exceptions import RetryExhausted, TransportError, TransportTimeout
+from repro.obs.registry import MetricsRegistry
 
 __all__ = [
     "Transport",
@@ -312,29 +313,62 @@ class RetryPolicy:
             yield self.delay_s(retry_index, rng)
 
 
+#: help text shared by every retry-instrumented call site, so the
+#: registry sees one consistent definition per metric name
+RETRY_METRIC_HELP = {
+    "repro_retry_attempts_total": "Operation attempts made under a retry policy.",
+    "repro_retry_giveups_total": "Retry policies exhausted (RetryExhausted raised).",
+    "repro_retry_backoff_seconds": "Backoff delay slept before each retry.",
+}
+
+
 def call_with_retry(
     operation: Callable[[], _T],
     policy: Optional[RetryPolicy] = None,
     rng: Optional[RandomSource] = None,
     retry_on: Tuple[Type[BaseException], ...] = (TransportError,),
     sleep: Callable[[float], None] = time.sleep,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> _T:
     """Run ``operation`` under ``policy``; raise ``RetryExhausted`` at the end.
 
     ``sleep`` is injectable so tests can run the schedule without waiting.
     Exceptions outside ``retry_on`` propagate immediately (a protocol
-    violation should never be retried into).
+    violation should never be retried into).  An optional ``metrics``
+    registry counts attempts and give-ups and histograms the backoff
+    delays (see :data:`RETRY_METRIC_HELP` for the metric names).
     """
     policy = policy or RetryPolicy()
     rng = as_random_source(rng)
+    attempts = (
+        metrics.counter(
+            "repro_retry_attempts_total",
+            RETRY_METRIC_HELP["repro_retry_attempts_total"],
+        )
+        if metrics is not None
+        else None
+    )
     last: Optional[BaseException] = None
     for attempt in range(policy.max_attempts):
+        if attempts is not None:
+            attempts.inc()
         try:
             return operation()
         except retry_on as exc:  # noqa: B030 - tuple of exception types
             last = exc
             if attempt + 1 < policy.max_attempts:
-                sleep(policy.delay_s(attempt + 1, rng))
+                delay = policy.delay_s(attempt + 1, rng)
+                if metrics is not None:
+                    metrics.histogram(
+                        "repro_retry_backoff_seconds",
+                        RETRY_METRIC_HELP["repro_retry_backoff_seconds"],
+                    ).observe(delay)
+                sleep(delay)
+    if metrics is not None:
+        metrics.counter(
+            "repro_retry_giveups_total",
+            RETRY_METRIC_HELP["repro_retry_giveups_total"],
+        ).inc()
     raise RetryExhausted(
         "gave up after %d attempts: %s" % (policy.max_attempts, last)
     ) from last
@@ -348,6 +382,7 @@ def connect_with_retry(
     read_timeout: Optional[float] = None,
     rng: Optional[RandomSource] = None,
     sleep: Callable[[float], None] = time.sleep,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> SocketTransport:
     """Open a TCP :class:`SocketTransport`, retrying under ``policy``."""
     return call_with_retry(
@@ -357,4 +392,5 @@ def connect_with_retry(
         policy=policy,
         rng=rng,
         sleep=sleep,
+        metrics=metrics,
     )

@@ -1,0 +1,172 @@
+"""Exposition formats: Prometheus text format and structured JSON.
+
+Two renderings of one :class:`~repro.obs.registry.MetricsRegistry`
+snapshot:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (version 0.0.4): ``# HELP``/``# TYPE`` headers once per metric name,
+  one sample line per instrument, histograms expanded into cumulative
+  ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.  This is
+  what the ``/metrics`` endpoint serves and what the CI scrape job
+  validates line by line.
+* :func:`render_json` / :func:`render_json_text` — a structured dump
+  for programmatic consumers: the CLI's ``--metrics-json`` flag, the
+  ``/metrics.json`` endpoint, and the ``repro stats`` pretty-printer.
+  The JSON round-trips: parsing it recovers every value the registry
+  held (asserted by the exposition tests).
+
+Escaping follows the Prometheus spec exactly — backslash and newline
+in HELP text; backslash, double-quote, and newline in label values —
+because a single malformed line makes a scraper drop the whole page.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.obs.registry import LabelSet, MetricsRegistry, MetricSnapshot
+
+__all__ = [
+    "render_prometheus",
+    "render_json",
+    "render_json_text",
+    "PROMETHEUS_CONTENT_TYPE",
+    "JSON_CONTENT_TYPE",
+]
+
+#: the content type Prometheus scrapers expect from /metrics
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value: integral floats as integers, rest as repr."""
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labels: LabelSet, extra: str = "") -> str:
+    """``{a="x",b="y"}`` (or ``""`` when there is nothing to render)."""
+    parts = [
+        '%s="%s"' % (name, _escape_label_value(value))
+        for name, value in labels
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{%s}" % ",".join(parts)
+
+
+def _format_bound(bound: float) -> str:
+    """A ``le`` bound: integral bounds render bare, the tail as +Inf."""
+    return _format_value(bound)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition format (0.0.4).
+
+    Instruments sharing a name (label variants of one metric) are
+    grouped under a single ``# HELP``/``# TYPE`` header, as the format
+    requires.  The output always ends with a newline — scrapers treat
+    a missing trailing newline as truncation.
+    """
+    lines: List[str] = []
+    seen_headers: set = set()
+    for snap in registry.collect():
+        if snap.name not in seen_headers:
+            seen_headers.add(snap.name)
+            if snap.help_text:
+                lines.append(
+                    "# HELP %s %s" % (snap.name, _escape_help(snap.help_text))
+                )
+            lines.append("# TYPE %s %s" % (snap.name, snap.kind))
+        if snap.kind == "histogram":
+            lines.extend(_histogram_lines(snap))
+        else:
+            lines.append(
+                "%s%s %s"
+                % (snap.name, _format_labels(snap.labels),
+                   _format_value(snap.value))
+            )
+    return "\n".join(lines) + "\n" if lines else "\n"
+
+
+def _histogram_lines(snap: MetricSnapshot) -> List[str]:
+    lines = []
+    bounds = [_format_bound(b) for b in snap.bucket_bounds] + ["+Inf"]
+    for bound_text, cumulative in zip(bounds, snap.bucket_counts):
+        lines.append(
+            "%s_bucket%s %d"
+            % (
+                snap.name,
+                _format_labels(snap.labels, 'le="%s"' % bound_text),
+                cumulative,
+            )
+        )
+    lines.append(
+        "%s_sum%s %s"
+        % (snap.name, _format_labels(snap.labels),
+           _format_value(snap.sum_value))
+    )
+    lines.append(
+        "%s_count%s %d"
+        % (snap.name, _format_labels(snap.labels), snap.count)
+    )
+    return lines
+
+
+def render_json(registry: MetricsRegistry) -> Dict[str, Any]:
+    """The registry as a plain-data dict (JSON-serialisable).
+
+    Schema::
+
+        {"metrics": [
+            {"name": ..., "type": "counter"|"gauge", "help": ...,
+             "labels": {...}, "value": <number>},
+            {"name": ..., "type": "histogram", "help": ...,
+             "labels": {...}, "sum": <number>, "count": <int>,
+             "buckets": [{"le": <number or "+Inf">, "count": <int>}, ...]}
+        ]}
+
+    Bucket counts are cumulative, matching the Prometheus rendering.
+    """
+    metrics: List[Dict[str, Any]] = []
+    for snap in registry.collect():
+        entry: Dict[str, Any] = {
+            "name": snap.name,
+            "type": snap.kind,
+            "help": snap.help_text,
+            "labels": dict(snap.labels),
+        }
+        if snap.kind == "histogram":
+            bounds: List[Any] = list(snap.bucket_bounds) + ["+Inf"]
+            entry["sum"] = snap.sum_value
+            entry["count"] = snap.count
+            entry["buckets"] = [
+                {"le": bound, "count": cumulative}
+                for bound, cumulative in zip(bounds, snap.bucket_counts)
+            ]
+        else:
+            entry["value"] = snap.value
+        metrics.append(entry)
+    return {"metrics": metrics}
+
+
+def render_json_text(registry: MetricsRegistry, indent: int = 2) -> str:
+    """:func:`render_json`, serialised (stable key order, trailing \\n)."""
+    return json.dumps(render_json(registry), indent=indent, sort_keys=True) + "\n"

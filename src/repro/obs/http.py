@@ -1,0 +1,176 @@
+"""The ``/metrics`` + ``/healthz`` stats endpoint, on a plain http.server.
+
+A :class:`StatsEndpoint` exposes one
+:class:`~repro.obs.registry.MetricsRegistry` over HTTP so a running
+:class:`~repro.net.server.SpfeServer` (or any other process) can be
+observed from *outside*: a Prometheus scraper, ``curl``, the
+``repro stats`` pretty-printer, or the CI job that boots a server and
+validates the exposition output.
+
+Routes:
+
+* ``GET /metrics`` — Prometheus text format (0.0.4);
+* ``GET /metrics.json`` — the structured JSON rendering;
+* ``GET /healthz`` — a small JSON health document from the optional
+  ``health`` callable (status plus whatever the owner reports), HTTP
+  200 while the owner reports ``ok`` and 503 once it is draining or
+  stopped — so load balancers stop routing to a server that is
+  shutting down *before* its socket disappears.
+
+The endpoint is deliberately *not* the protocol port: the wire
+protocol stays binary frames on its own socket; observability rides a
+separate listener that can be firewalled to the operator network.  It
+runs a ``ThreadingHTTPServer`` on a daemon thread, costs nothing until
+scraped, and is opt-in (``SpfeServer(stats_port=...)`` /
+``repro serve --stats-port``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.exceptions import ParameterError
+from repro.obs.exposition import (
+    JSON_CONTENT_TYPE,
+    PROMETHEUS_CONTENT_TYPE,
+    render_json_text,
+    render_prometheus,
+)
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["StatsEndpoint"]
+
+#: health statuses that answer 200; anything else answers 503
+_HEALTHY_STATUSES = ("ok",)
+
+
+class _StatsHandler(BaseHTTPRequestHandler):
+    """Request handler bound to the owning endpoint via the server object."""
+
+    # the default implementation logs every request to stderr; a scraped
+    # endpoint would spam the server's console once per scrape interval
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass
+
+    def do_GET(self) -> None:
+        endpoint: "StatsEndpoint" = self.server.stats_endpoint  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_prometheus(endpoint.registry)
+            self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
+        elif path == "/metrics.json":
+            body = render_json_text(endpoint.registry)
+            self._reply(200, JSON_CONTENT_TYPE, body)
+        elif path == "/healthz":
+            document = endpoint.health_document()
+            status = 200 if document.get("status") in _HEALTHY_STATUSES else 503
+            self._reply(
+                status, JSON_CONTENT_TYPE,
+                json.dumps(document, sort_keys=True) + "\n",
+            )
+        else:
+            self._reply(
+                404, "text/plain; charset=utf-8",
+                "not found (try /metrics, /metrics.json, /healthz)\n",
+            )
+
+    def _reply(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        try:
+            self.wfile.write(payload)
+        except OSError:
+            pass  # scraper went away mid-reply; nothing to salvage
+
+
+class StatsEndpoint:
+    """An HTTP observability listener for one metrics registry.
+
+    Args:
+        registry: the instruments to expose.
+        host/port: bind address (port 0 = ephemeral, resolved by
+            :attr:`port` after :meth:`start`).
+        health: optional zero-argument callable returning a dict for
+            ``/healthz``; it should carry at least a ``"status"`` key
+            (``"ok"`` answers 200, anything else 503).  ``None`` serves
+            a constant ``{"status": "ok"}``.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        health: Optional[Callable[[], Dict[str, Any]]] = None,
+    ) -> None:
+        if port < 0:
+            raise ParameterError("stats port must be non-negative")
+        self.registry = registry
+        self._host = host
+        self._requested_port = port
+        self._health = health
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def health_document(self) -> Dict[str, Any]:
+        """The current ``/healthz`` document."""
+        if self._health is None:
+            return {"status": "ok"}
+        return self._health()
+
+    def start(self) -> "StatsEndpoint":
+        """Bind and serve on a daemon thread; returns self."""
+        if self._server is not None:
+            raise ParameterError("stats endpoint already started")
+        server = ThreadingHTTPServer(
+            (self._host, self._requested_port), _StatsHandler
+        )
+        server.daemon_threads = True
+        server.stats_endpoint = self  # type: ignore[attr-defined]
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-stats",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves an ephemeral bind)."""
+        if self._server is None:
+            raise ParameterError("stats endpoint not started")
+        return self._server.server_address[1]
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) pair."""
+        if self._server is None:
+            raise ParameterError("stats endpoint not started")
+        return (self._server.server_address[0], self.port)
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        server, self._server = self._server, None
+        thread, self._thread = self._thread, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "StatsEndpoint":
+        """Context-manager entry: start the endpoint."""
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: close the endpoint."""
+        self.close()

@@ -1,0 +1,378 @@
+"""Thread-safe metric instruments: counters, gauges, histograms.
+
+The paper is an *experimental analysis* — measurement is the entire
+contribution — yet until this module every layer of the codebase kept
+its own private tallies (``ServerStats`` dicts, engine batch counters,
+per-session byte fields) that could not be observed from outside the
+process.  :class:`MetricsRegistry` is the one shared instrument rack:
+every subsystem registers named instruments here, and the exposition
+layer (:mod:`repro.obs.exposition`, :mod:`repro.obs.http`) renders a
+consistent snapshot of all of them on demand.
+
+Design constraints, in order:
+
+* **No third-party dependencies.**  The container bakes in only the
+  standard library, so this is a from-scratch implementation of the
+  Prometheus data model's useful core: monotonic counters, settable
+  gauges, and histograms with *fixed* bucket boundaries.
+* **Thread-safe by construction.**  Instruments are shared by the
+  server's worker pool, the accept loop, and the stats endpoint's HTTP
+  threads; every mutation happens under the owning object's lock, and
+  ``seclint`` rule SEC004 enforces the discipline mechanically (the
+  guarded attributes are registered in
+  :class:`~repro.analysis.config.AnalysisConfig.lock_guards`).
+* **Cheap on the hot path.**  A counter bump is one lock acquisition
+  and one integer add — measured in
+  ``benchmarks/test_obs_overhead.py`` so future PRs can cite the cost
+  of instrumenting a new path instead of guessing.
+
+Instruments are identified by ``(name, labels)``: the same metric name
+may appear once per distinct label set (e.g. one
+``repro_phase_seconds`` histogram per ``phase`` label), and
+:meth:`MetricsRegistry.collect` groups them for exposition.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricSnapshot",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Default bucket upper bounds (seconds) for latency histograms —
+#: spanning sub-millisecond counter bumps to multi-second modular
+#: exponentiation batches at large key sizes.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: canonical label storage: a sorted tuple of (name, value) pairs
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _canonical_labels(labels: Optional[Mapping[str, str]]) -> LabelSet:
+    """Validate and freeze a label mapping into its canonical tuple."""
+    if not labels:
+        return ()
+    out = []
+    for name in sorted(labels):
+        if not _LABEL_NAME_RE.match(name):
+            raise ParameterError("invalid label name %r" % name)
+        out.append((name, str(labels[name])))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class MetricSnapshot:
+    """A consistent point-in-time copy of one instrument.
+
+    ``kind`` is ``"counter"``, ``"gauge"``, or ``"histogram"``.  For
+    scalar instruments only ``value`` is set; histograms carry
+    ``bucket_counts`` (cumulative, aligned with ``bucket_bounds`` plus
+    an implicit ``+Inf``), ``sum_value``, and ``count``.
+    """
+
+    name: str
+    kind: str
+    help_text: str
+    labels: LabelSet = ()
+    value: float = 0.0
+    bucket_bounds: Tuple[float, ...] = ()
+    bucket_counts: Tuple[int, ...] = ()
+    sum_value: float = 0.0
+    count: int = 0
+
+
+class _Instrument:
+    """Shared identity (name, help, labels) and lock for all instruments."""
+
+    kind = "instrument"
+
+    def __init__(
+        self, name: str, help_text: str, labels: LabelSet
+    ) -> None:
+        if not _METRIC_NAME_RE.match(name):
+            raise ParameterError("invalid metric name %r" % name)
+        self.name = name
+        self.help_text = help_text
+        self.labels = labels
+        self._lock = threading.Lock()
+
+    def snapshot(self) -> MetricSnapshot:
+        """A frozen copy for exposition (concrete instruments only)."""
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count (events, bytes, retries)."""
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help_text: str = "", labels: LabelSet = ()
+    ) -> None:
+        super().__init__(name, help_text, labels)
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> int:
+        """Add ``amount`` (>= 0); returns the new total."""
+        if amount < 0:
+            raise ParameterError("counters only go up (amount=%d)" % amount)
+        with self._lock:
+            self._value += amount
+            return self._value
+
+    @property
+    def value(self) -> int:
+        """The current total."""
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> MetricSnapshot:
+        """A frozen copy for exposition."""
+        return MetricSnapshot(
+            self.name, self.kind, self.help_text, self.labels,
+            value=self.value,
+        )
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (in-flight sessions, pool size)."""
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, help_text: str = "", labels: LabelSet = ()
+    ) -> None:
+        super().__init__(name, help_text, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> float:
+        """Add ``amount`` (may be negative); returns the new value."""
+        with self._lock:
+            self._value += amount
+            return self._value
+
+    def dec(self, amount: float = 1.0) -> float:
+        """Subtract ``amount``; returns the new value."""
+        return self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        """The current value."""
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> MetricSnapshot:
+        """A frozen copy for exposition."""
+        return MetricSnapshot(
+            self.name, self.kind, self.help_text, self.labels,
+            value=self.value,
+        )
+
+
+class Histogram(_Instrument):
+    """Observations bucketed under fixed upper bounds.
+
+    Buckets are declared once at construction (strictly increasing,
+    finite); an implicit ``+Inf`` bucket catches the tail, so
+    ``observe`` never loses a value.  Exposition follows the Prometheus
+    convention: cumulative bucket counts, a running sum, and a total
+    count.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        labels: LabelSet = (),
+    ) -> None:
+        super().__init__(name, help_text, labels)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ParameterError("histogram needs at least one bucket bound")
+        if any(math.isnan(b) or math.isinf(b) for b in bounds):
+            raise ParameterError("bucket bounds must be finite (+Inf is implicit)")
+        if any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ParameterError("bucket bounds must be strictly increasing")
+        self.bucket_bounds = bounds
+        # one slot per finite bound plus the +Inf tail, non-cumulative
+        self._bucket_counts = [0] * (len(bounds) + 1)
+        self._sum_value = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = len(self.bucket_bounds)
+        for position, bound in enumerate(self.bucket_bounds):
+            if value <= bound:
+                index = position
+                break
+        with self._lock:
+            self._bucket_counts[index] += 1
+            self._sum_value += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum_value(self) -> float:
+        """Sum of all observed values."""
+        with self._lock:
+            return self._sum_value
+
+    def snapshot(self) -> MetricSnapshot:
+        """A frozen copy with *cumulative* bucket counts."""
+        with self._lock:
+            raw = list(self._bucket_counts)
+            total = self._count
+            observed_sum = self._sum_value
+        cumulative: List[int] = []
+        running = 0
+        for bucket_count in raw:
+            running += bucket_count
+            cumulative.append(running)
+        return MetricSnapshot(
+            self.name, self.kind, self.help_text, self.labels,
+            bucket_bounds=self.bucket_bounds,
+            bucket_counts=tuple(cumulative),
+            sum_value=observed_sum,
+            count=total,
+        )
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument of one process/server.
+
+    Instruments are keyed by ``(name, labels)``; asking twice returns
+    the same object, and asking for an existing name with a different
+    instrument kind (or different histogram buckets) is a
+    :class:`~repro.exceptions.ParameterError` — a registry never holds
+    two contradictory definitions of one metric.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: "Dict[Tuple[str, LabelSet], _Instrument]" = {}
+        #: instrument kind per metric *name*: label variants of one name
+        #: must agree on kind or the exposition grouping breaks
+        self._kinds: Dict[str, str] = {}
+
+    def _get_or_create(
+        self,
+        key: Tuple[str, LabelSet],
+        factory: "Callable[[], _Instrument]",
+        kind: str,
+    ) -> _Instrument:
+        with self._lock:
+            declared = self._kinds.get(key[0])
+            if declared is not None and declared != kind:
+                raise ParameterError(
+                    "metric %r is a %s, not a %s" % (key[0], declared, kind)
+                )
+            existing = self._metrics.get(key)
+            if existing is not None:
+                return existing
+            instrument = factory()
+            self._metrics[key] = instrument
+            self._kinds[key[0]] = kind
+            return instrument
+
+    def counter(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Counter:
+        """Get or create the :class:`Counter` for ``(name, labels)``."""
+        frozen = _canonical_labels(labels)
+        instrument = self._get_or_create(
+            (name, frozen),
+            lambda: Counter(name, help_text, frozen),
+            Counter.kind,
+        )
+        assert isinstance(instrument, Counter)
+        return instrument
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Gauge:
+        """Get or create the :class:`Gauge` for ``(name, labels)``."""
+        frozen = _canonical_labels(labels)
+        instrument = self._get_or_create(
+            (name, frozen),
+            lambda: Gauge(name, help_text, frozen),
+            Gauge.kind,
+        )
+        assert isinstance(instrument, Gauge)
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Histogram:
+        """Get or create the :class:`Histogram` for ``(name, labels)``.
+
+        Re-requesting an existing histogram with different bucket
+        bounds is rejected: two views of one metric must bucket alike.
+        """
+        frozen = _canonical_labels(labels)
+        instrument = self._get_or_create(
+            (name, frozen),
+            lambda: Histogram(name, help_text, buckets, frozen),
+            Histogram.kind,
+        )
+        assert isinstance(instrument, Histogram)
+        if instrument.bucket_bounds != tuple(float(b) for b in buckets):
+            raise ParameterError(
+                "histogram %r already registered with buckets %r"
+                % (name, instrument.bucket_bounds)
+            )
+        return instrument
+
+    def collect(self) -> List[MetricSnapshot]:
+        """Snapshots of every instrument, sorted by (name, labels).
+
+        Each snapshot is internally consistent (taken under its
+        instrument's lock); the collection as a whole is a best-effort
+        point in time, which is all a scrape can promise.
+        """
+        with self._lock:
+            instruments = list(self._metrics.values())
+        snapshots = [instrument.snapshot() for instrument in instruments]
+        snapshots.sort(key=lambda snap: (snap.name, snap.labels))
+        return snapshots

@@ -34,6 +34,7 @@ from repro.crypto.simulated import SimulatedPaillier
 from repro.exceptions import ParameterError
 from repro.net.channel import Channel
 from repro.net.link import LinkModel, links
+from repro.obs.tracing import Tracer
 from repro.timing.costmodel import HardwareProfile, Op, profiles
 
 __all__ = ["ExecutionContext", "ComputeBlock", "CLIENT", "SERVER"]
@@ -42,6 +43,16 @@ CLIENT = "client"
 SERVER = "server"
 
 _MODES = ("modelled", "measured")
+
+#: Op -> canonical tracer phase name.  Unlisted ops record under their
+#: own value (visible in Tracer.totals, outside the figure breakdown);
+#: CIPHER_ADD stays unmapped because it runs on either party.
+_OP_PHASE = {
+    Op.ENCRYPT: "encrypt",
+    Op.DECRYPT: "decrypt",
+    Op.WEIGHTED_STEP: "server_compute",
+    Op.PRECOMPUTE: "offline_precompute",
+}
 
 
 class ComputeBlock:
@@ -54,12 +65,14 @@ class ComputeBlock:
         op: Op,
         count: int,
         key_bits: int,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self._mode = mode
         self._profile = profile
         self._op = op
         self._count = count
         self._key_bits = key_bits
+        self._tracer = tracer
         self._started = 0.0
         self.seconds = 0.0
 
@@ -77,6 +90,13 @@ class ComputeBlock:
             self.seconds = self._count * self._profile.cost(
                 self._op, self._key_bits
             )
+        if self._tracer is not None:
+            # Both timing modes flow into the same tracer: measured
+            # blocks as wall-clock spans, modelled ones as recorded
+            # charges — so traced runs always produce a breakdown.
+            self._tracer.record(
+                _OP_PHASE.get(self._op, self._op.value), self.seconds
+            )
 
 
 class ExecutionContext:
@@ -92,6 +112,11 @@ class ExecutionContext:
             (default 512, the paper's).
         mode: "modelled" or "measured".
         rng: randomness for key generation / encryption; seeds accepted.
+        tracer: optional :class:`~repro.obs.tracing.Tracer`; every
+            compute block (measured or modelled) records its duration
+            there under the op's canonical phase name, so a traced run
+            yields both per-phase histograms and a
+            :meth:`~repro.obs.tracing.Tracer.breakdown`.
     """
 
     def __init__(
@@ -103,6 +128,7 @@ class ExecutionContext:
         key_bits: int = 512,
         mode: str = "modelled",
         rng: Union[RandomSource, bytes, str, int, None] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if mode not in _MODES:
             raise ParameterError("mode must be one of %s, got %r" % (_MODES, mode))
@@ -117,6 +143,7 @@ class ExecutionContext:
         self.key_bits = key_bits
         self.mode = mode
         self.rng = as_random_source(rng)
+        self.tracer = tracer
         self._channel_counter = 0
 
     # -- wiring ----------------------------------------------------------------
@@ -147,7 +174,8 @@ class ExecutionContext:
         if count < 0:
             raise ParameterError("operation count must be non-negative")
         return ComputeBlock(
-            self.mode, self.profile_for(party), op, count, self.key_bits
+            self.mode, self.profile_for(party), op, count, self.key_bits,
+            tracer=self.tracer,
         )
 
     def op_cost(self, party: str, op: Op) -> float:

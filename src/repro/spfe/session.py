@@ -65,7 +65,14 @@ from repro.exceptions import (
 )
 from repro.net import codec
 from repro.net.codec import Frame, FrameDecoder, FrameType
-from repro.net.transport import DEFAULT_RECV_BYTES, RetryPolicy, Transport
+from repro.net.transport import (
+    DEFAULT_RECV_BYTES,
+    RETRY_METRIC_HELP,
+    RetryPolicy,
+    Transport,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.spfe.validation import (
     ServerPolicy,
     check_ciphertext,
@@ -99,6 +106,7 @@ class ClientSession:
         rng: Optional[RandomSource] = None,
         wire_version: int = codec.WIRE_VERSION_2,
         keypair: Optional[SchemeKeyPair] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if not selection:
             raise ProtocolError("selection must be non-empty")
@@ -112,6 +120,9 @@ class ClientSession:
         self.key_bits = key_bits
         self.chunk_size = chunk_size
         self.wire_version = wire_version
+        #: optional :class:`~repro.obs.tracing.Tracer` recording the
+        #: paper's client phases (``encrypt``, ``decrypt``, ``resume``)
+        self.tracer = tracer
         self._rng = as_random_source(rng)
         keypair = keypair or generate_keypair(key_bits, self._rng)
         self.public_key: PaillierPublicKey = keypair.public
@@ -151,9 +162,14 @@ class ClientSession:
         if cached is None:
             start = index * self.chunk_size
             chunk = self.selection[start : start + self.chunk_size]
+            encrypt_started = time.perf_counter()
             ciphertexts = [
                 self.public_key.encrypt_raw(w, self._rng) for w in chunk
             ]
+            if self.tracer is not None:
+                self.tracer.record(
+                    "encrypt", time.perf_counter() - encrypt_started
+                )
             self.encryptions += len(chunk)
             cached = codec.encode_ciphertext_chunk(
                 ciphertexts, self.key_bits, self._sequence(index)
@@ -270,7 +286,12 @@ class ClientSession:
         if self.result is not None:
             raise ProtocolError("server sent more than one result")
         ciphertext = codec.decode_result(frame.payload, self.key_bits)
+        decrypt_started = time.perf_counter()
         self.result = self._private_key.raw_decrypt(ciphertext)
+        if self.tracer is not None:
+            self.tracer.record(
+                "decrypt", time.perf_counter() - decrypt_started
+            )
 
 
 class _ResumeState:
@@ -439,9 +460,14 @@ class ServerSession:
         registry: Optional[SessionRegistry] = None,
         policy: Optional[ServerPolicy] = None,
         engine: Optional[object] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.database = database
         self.registry = registry
+        #: optional :class:`~repro.obs.tracing.Tracer` recording the
+        #: server's ``fold`` phase (a concurrent server shares one
+        #: tracer across all of its sessions)
+        self.tracer = tracer
         #: trust-boundary limits; None preserves the legacy permissive mode
         self.policy = policy
         #: optional :class:`~repro.crypto.engine.CryptoEngine`; chunks are
@@ -645,6 +671,7 @@ class ServerSession:
             # Fold the whole chunk with the simultaneous-multiexp kernel
             # (one shared squaring chain) instead of one pow() per
             # element; an engine additionally partitions across workers.
+            fold_started = time.perf_counter()
             if self.engine is not None:
                 self._aggregate = self.engine.weighted_product(
                     nsquare, n, batch_cts, batch_weights, self._aggregate
@@ -656,6 +683,8 @@ class ServerSession:
                     nsquare,
                     initial=self._aggregate,
                 )
+            if self.tracer is not None:
+                self.tracer.record("fold", time.perf_counter() - fold_started)
         self._chunks_received += 1
         self.chunk_frames_processed += 1
         done = self._received == len(self.database)
@@ -763,6 +792,7 @@ def run_resilient(
     rng: Optional[RandomSource] = None,
     sleep: Callable[[float], None] = time.sleep,
     recv_bytes: int = DEFAULT_RECV_BYTES,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> int:
     """Run a client to completion across reconnects and resumes.
 
@@ -773,16 +803,37 @@ def run_resilient(
     cached ciphertext chunks, never re-encrypting.  Protocol violations
     are *not* retried; they propagate immediately.
 
+    An optional ``metrics`` registry gets the same attempt/backoff/
+    give-up instruments as :func:`~repro.net.transport.call_with_retry`;
+    a client constructed with a tracer additionally records a ``resume``
+    span per reconnect handshake.
+
     Raises :class:`~repro.exceptions.RetryExhausted` (with the last
     transport failure chained) when the policy gives up.
     """
     policy = policy or RetryPolicy()
     rng = as_random_source(rng)
+    attempts = (
+        metrics.counter(
+            "repro_retry_attempts_total",
+            RETRY_METRIC_HELP["repro_retry_attempts_total"],
+        )
+        if metrics is not None
+        else None
+    )
     resuming = False
     last: Optional[TransportError] = None
     for attempt in range(policy.max_attempts):
         if attempt:
-            sleep(policy.delay_s(attempt, rng))
+            delay = policy.delay_s(attempt, rng)
+            if metrics is not None:
+                metrics.histogram(
+                    "repro_retry_backoff_seconds",
+                    RETRY_METRIC_HELP["repro_retry_backoff_seconds"],
+                ).observe(delay)
+            sleep(delay)
+        if attempts is not None:
+            attempts.inc()
         try:
             transport = connect()
         except TransportError as exc:
@@ -790,12 +841,17 @@ def run_resilient(
             continue
         try:
             if resuming:
+                resume_started = time.perf_counter()
                 transport.send(client.resume_request())
                 while not client.resume_ready and client.result is None:
                     data = transport.recv(recv_bytes)
                     if not data:
                         raise TransportError("connection closed awaiting ACK")
                     client.receive_bytes(data)
+                if client.tracer is not None:
+                    client.tracer.record(
+                        "resume", time.perf_counter() - resume_started
+                    )
                 stream = client.resume_bytes() if client.result is None else iter(())
             else:
                 stream = client.initial_bytes()
@@ -815,6 +871,11 @@ def run_resilient(
             resuming = client.session_id is not None
         finally:
             transport.close()
+    if metrics is not None:
+        metrics.counter(
+            "repro_retry_giveups_total",
+            RETRY_METRIC_HELP["repro_retry_giveups_total"],
+        ).inc()
     raise RetryExhausted(
         "gave up after %d attempts: %s" % (policy.max_attempts, last)
     ) from last

@@ -35,10 +35,19 @@ class SessionRegistry:
             self._states[key] = object()  # EXPECT: SEC004
 
 
-class ServerStats:
+class Counter:
     def __init__(self):
         self._lock = threading.Lock()
-        self._counts = {}
+        self._value = 0
 
-    def add(self, name):
-        self._counts[name] = self._counts.get(name, 0) + 1  # EXPECT: SEC004
+    def inc(self, amount=1):
+        self._value += amount  # EXPECT: SEC004
+
+
+class Tracer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._totals = {}
+
+    def record(self, name):
+        self._totals[name] = self._totals.get(name, 0) + 1  # EXPECT: SEC004

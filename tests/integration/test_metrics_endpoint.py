@@ -1,0 +1,167 @@
+"""End-to-end: the scraped ``/metrics`` page agrees with ``ServerStats``.
+
+Boots a real :class:`~repro.net.server.SpfeServer` with its stats
+endpoint enabled, drives a served session *and* an internal-error
+session over genuine sockets, then scrapes ``/metrics`` and asserts the
+exposition reconciles exactly with :meth:`ServerStats.snapshot` — the
+single-bookkeeping-path property the observability layer exists for.
+The internal-error path is the interesting half: before the accounting
+fix, a session that died on a server-side bug vanished from the byte
+totals, so the scrape and the in-process numbers could not agree.
+"""
+
+import json
+import socket
+import time
+
+import pytest
+
+from repro.crypto.rng import DeterministicRandom
+from repro.datastore.workload import WorkloadGenerator
+from repro.exceptions import ParameterError
+from repro.net.server import SpfeServer
+from repro.net.transport import SocketTransport
+from repro.obs.check import scrape, validate_exposition
+from repro.spfe.session import ClientSession, ServerSession, run_resilient
+
+KEY_BITS = 128
+N = 20
+READ_TIMEOUT = 5.0
+
+
+@pytest.fixture(scope="module")
+def workload():
+    generator = WorkloadGenerator("metrics-endpoint-tests")
+    database = generator.database(N, value_bits=16)
+    selection = generator.random_selection(N, 6)
+    return database, selection
+
+
+def make_client(selection, seed):
+    return ClientSession(
+        selection,
+        key_bits=KEY_BITS,
+        chunk_size=4,
+        rng=DeterministicRandom("metrics-test-%s" % seed),
+    )
+
+
+def stats_url(server, path):
+    host, port = server.stats_address
+    return "http://%s:%d%s" % (host, port, path)
+
+
+def wait_until(condition, timeout_s=5.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if condition():
+            return True
+        time.sleep(0.02)
+    return condition()
+
+
+def metric_samples(text):
+    """Parse sample lines into ``{"name{labels}": float_value}``."""
+    samples = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        samples[name] = float(value)
+    return samples
+
+
+class TestScrapeReconciliation:
+    def test_metrics_match_server_stats_exactly(self, workload, monkeypatch):
+        database, selection = workload
+        original = ServerSession.receive_bytes
+        fired = []
+
+        def exploding(self, data):
+            reply = original(self, data)
+            if fired == ["armed"]:
+                fired[:] = ["fired"]
+                raise RuntimeError("injected mid-session bug")
+            return reply
+
+        monkeypatch.setattr(ServerSession, "receive_bytes", exploding)
+        with SpfeServer(
+            database, read_timeout=READ_TIMEOUT, stats_port=0
+        ) as server:
+            # one session served to completion...
+            value = run_resilient(
+                make_client(selection, "served"),
+                lambda: SocketTransport.connect(
+                    "127.0.0.1", server.port,
+                    connect_timeout=READ_TIMEOUT, read_timeout=READ_TIMEOUT,
+                ),
+            )
+            assert value == database.select_sum(selection)
+            # ...and one killed mid-run by a server-side bug
+            fired.append("armed")
+            crash = socket.create_connection(("127.0.0.1", server.port))
+            for data in make_client(selection, "crash").initial_bytes():
+                crash.sendall(data)
+                break  # the first frame already triggers the bug
+            assert wait_until(
+                lambda: server.stats.get("sessions_errored_internal") == 1
+            )
+            crash.close()
+            assert wait_until(
+                lambda: server._health()["in_flight_sessions"] == 0
+            )
+
+            status, body = scrape(stats_url(server, "/metrics"))
+            assert status == 200
+            assert validate_exposition(body) == []
+            samples = metric_samples(body)
+            snapshot = server.stats.snapshot()
+
+            # every ServerStats field reconciles exactly with its scrape
+            for field, count in snapshot.items():
+                name = "repro_server_%s_total" % field
+                assert samples[name] == count, field
+            assert snapshot["sessions_served"] == 1
+            assert snapshot["sessions_errored_internal"] == 1
+            assert snapshot["sessions_dropped"] >= 1
+            assert snapshot["bytes_in"] > 0  # includes the crashed session
+            assert samples["repro_server_in_flight_sessions"] == 0
+            assert samples["repro_server_active_connections"] == 0
+            # the served session's fold latency reached the phase histogram
+            assert samples['repro_phase_seconds_count{phase="fold"}'] >= 1
+
+            # the JSON rendering carries the same counter values
+            status, body = scrape(stats_url(server, "/metrics.json"))
+            assert status == 200
+            by_name = {
+                (entry["name"], tuple(sorted(entry["labels"].items()))): entry
+                for entry in json.loads(body)["metrics"]
+            }
+            for field, count in snapshot.items():
+                entry = by_name[("repro_server_%s_total" % field, ())]
+                assert entry["value"] == count
+
+    def test_healthz_tracks_server_lifecycle(self, workload):
+        database, _ = workload
+        server = SpfeServer(
+            database, read_timeout=READ_TIMEOUT, stats_port=0
+        ).start()
+        try:
+            status, body = scrape(stats_url(server, "/healthz"))
+            document = json.loads(body)
+            assert status == 200
+            assert document["status"] == "ok"
+            assert document["in_flight_sessions"] == 0
+            assert document["workers_alive"] == server.max_sessions
+            server.initiate_drain()
+            status, body = scrape(stats_url(server, "/healthz"))
+            assert status == 503
+            assert json.loads(body)["status"] == "draining"
+        finally:
+            server.stop(drain_deadline_s=5.0)
+
+    def test_stats_address_requires_opt_in(self, workload):
+        database, _ = workload
+        with SpfeServer(database, read_timeout=READ_TIMEOUT) as server:
+            with pytest.raises(ParameterError):
+                server.stats_address

@@ -1,6 +1,7 @@
 """Unit tests for the concurrent server runtime (`repro.net.server`)."""
 
 import socket
+import threading
 import time
 
 import pytest
@@ -12,7 +13,7 @@ from repro.net import codec
 from repro.net.codec import FrameDecoder, FrameType
 from repro.net.server import ServerStats, SpfeServer
 from repro.net.transport import RetryPolicy, SocketTransport
-from repro.spfe.session import ClientSession, run_resilient
+from repro.spfe.session import ClientSession, ServerSession, run_resilient
 from repro.spfe.validation import ServerPolicy
 
 KEY_BITS = 128
@@ -304,6 +305,152 @@ class TestAdmissionControl:
         client = make_client(selection)
         with pytest.raises(ServerBusy):
             client.receive_bytes(codec.encode_busy(50))
+
+
+class TestAccountingRegressions:
+    def test_internal_error_session_still_accounts_bytes(
+        self, workload, monkeypatch
+    ):
+        """A session killed by a server-side bug must not vanish from
+        the byte totals: the accounting used to run after the session
+        loop, so a non-transport error skipped it entirely.  Now it
+        lives in the ``finally`` and the session is also tagged
+        ``sessions_errored_internal``."""
+        database, selection = workload
+        original = ServerSession.receive_bytes
+        fired = []
+
+        def exploding(self, data):
+            reply = original(self, data)
+            if not fired:
+                fired.append(True)
+                raise RuntimeError("injected mid-session bug")
+            return reply
+
+        monkeypatch.setattr(ServerSession, "receive_bytes", exploding)
+        with SpfeServer(database, read_timeout=READ_TIMEOUT) as server:
+            crash = socket.create_connection(("127.0.0.1", server.port))
+            client = make_client(selection, seed="explode")
+            for data in client.initial_bytes():
+                crash.sendall(data)
+                break  # the first frame already triggers the bug
+            for _ in range(100):
+                if server.stats.get("sessions_errored_internal") >= 1:
+                    break
+                time.sleep(0.02)
+            crash.close()
+            snap = server.stats.snapshot()
+            assert snap["sessions_errored_internal"] == 1
+            assert snap["sessions_dropped"] >= 1
+            assert snap["bytes_in"] > 0  # the crashed session's bytes
+            # the worker survived; an honest client is served next
+            value = run_resilient(
+                make_client(selection, seed="after-explode"),
+                lambda: connect(server.port),
+            )
+            assert value == database.select_sum(selection)
+
+    def test_shed_send_stall_does_not_block_admission(
+        self, workload, monkeypatch
+    ):
+        """A BUSY send to a peer that never reads must cost the shed
+        thread, not the accept loop: the send used to run inline with a
+        one-second timeout, stalling all admission for up to a second
+        per shed connection."""
+        database, selection = workload
+        original = SpfeServer._send_busy
+        stalled = []
+
+        def glacial(self, connection):
+            if not stalled:
+                stalled.append(True)
+                time.sleep(2.0)
+            original(self, connection)
+
+        monkeypatch.setattr(SpfeServer, "_send_busy", glacial)
+        server = SpfeServer(
+            database, max_sessions=1, accept_backlog=1,
+            read_timeout=READ_TIMEOUT,
+        ).start()
+        holders = []
+        shed = []
+        try:
+            # fill the worker (1) and the accept queue (1)
+            for _ in range(2):
+                holders.append(
+                    socket.create_connection(("127.0.0.1", server.port))
+                )
+                time.sleep(0.15)
+            started = time.monotonic()
+            for _ in range(3):
+                shed.append(
+                    socket.create_connection(
+                        ("127.0.0.1", server.port), timeout=2.0
+                    )
+                )
+            for _ in range(100):
+                if server.stats.get("sessions_shed") >= 3:
+                    break
+                time.sleep(0.02)
+            elapsed = time.monotonic() - started
+            assert server.stats.get("sessions_shed") >= 3
+            # inline sends would have serialised behind the 2 s stall
+            assert elapsed < 1.5
+            # ...and the accept loop still admits an honest client while
+            # the shed thread is sleeping
+            for sock in holders:
+                sock.close()
+            holders = []
+            value = run_resilient(
+                make_client(selection, seed="shed-stall"),
+                lambda: connect(server.port),
+                policy=RetryPolicy(max_attempts=8, base_delay_s=0.05),
+            )
+            assert value == database.select_sum(selection)
+        finally:
+            for sock in holders + shed:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            server.stop(drain_deadline_s=10.0)
+
+    def test_session_retirement_is_atomic_at_budget_boundary(self, workload):
+        """The served-counter bump and the in-flight release happen
+        under one ``_budget_lock`` acquisition.  When they were separate
+        steps, an admission check interleaved between them saw the
+        finishing session in *both* totals (served=1 plus in_flight=1
+        against max_queries=2) and shed a connection the budget allowed.
+        The slowed-down bump below holds the lock open exactly where the
+        old race window was; a concurrent admission must block and then
+        succeed."""
+        database, _ = workload
+        server = SpfeServer(database, max_queries=2)  # never started
+        assert server._admit_query_budget() is True  # the finishing session
+        original_add = server.stats.add
+        bump_entered = threading.Event()
+
+        def slow_add(name, amount=1):
+            total = original_add(name, amount)
+            if name == "sessions_served":
+                bump_entered.set()
+                time.sleep(0.3)
+            return total
+
+        server.stats.add = slow_add
+        admitted = []
+
+        def admit():
+            bump_entered.wait(5.0)
+            admitted.append(server._admit_query_budget())
+
+        prober = threading.Thread(target=admit)
+        prober.start()
+        server._retire_session(served=True)
+        prober.join(5.0)
+        assert not prober.is_alive()
+        assert admitted == [True]
+        assert server.stats.get("sessions_served") == 1
 
 
 class TestDeadlineBudget:

@@ -1,0 +1,1 @@
+"""Unit tests for the observability layer (:mod:`repro.obs`)."""

@@ -1,0 +1,107 @@
+"""Unit tests for the HTTP stats endpoint (`repro.obs.http`)."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.obs.check import scrape, validate_exposition
+from repro.obs.http import StatsEndpoint
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture()
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("demo_total", "Demo counter.").inc(5)
+    return registry
+
+
+def url(endpoint, path):
+    host, port = endpoint.address
+    return "http://%s:%d%s" % (host, port, path)
+
+
+class TestRoutes:
+    def test_metrics_route_serves_valid_exposition(self, registry):
+        with StatsEndpoint(registry) as endpoint:
+            status, body = scrape(url(endpoint, "/metrics"))
+        assert status == 200
+        assert "demo_total 5" in body
+        assert validate_exposition(body) == []
+
+    def test_metrics_json_route_parses(self, registry):
+        with StatsEndpoint(registry) as endpoint:
+            status, body = scrape(url(endpoint, "/metrics.json"))
+        assert status == 200
+        parsed = json.loads(body)
+        (entry,) = parsed["metrics"]
+        assert entry["name"] == "demo_total"
+        assert entry["value"] == 5
+
+    def test_query_strings_are_ignored(self, registry):
+        with StatsEndpoint(registry) as endpoint:
+            status, _ = scrape(url(endpoint, "/metrics?format=ignored"))
+        assert status == 200
+
+    def test_unknown_route_is_404(self, registry):
+        with StatsEndpoint(registry) as endpoint:
+            status, body = scrape(url(endpoint, "/nope"))
+        assert status == 404
+        assert "/metrics" in body  # the 404 names the valid routes
+
+    def test_scrapes_see_live_values(self, registry):
+        with StatsEndpoint(registry) as endpoint:
+            _, before = scrape(url(endpoint, "/metrics"))
+            registry.counter("demo_total").inc(2)
+            _, after = scrape(url(endpoint, "/metrics"))
+        assert "demo_total 5" in before
+        assert "demo_total 7" in after
+
+
+class TestHealthz:
+    def test_default_health_is_ok_200(self, registry):
+        with StatsEndpoint(registry) as endpoint:
+            status, body = scrape(url(endpoint, "/healthz"))
+        assert status == 200
+        assert json.loads(body) == {"status": "ok"}
+
+    def test_unhealthy_status_answers_503(self, registry):
+        state = {"status": "ok", "in_flight": 0}
+        with StatsEndpoint(registry, health=lambda: dict(state)) as endpoint:
+            ok_status, ok_body = scrape(url(endpoint, "/healthz"))
+            state["status"] = "draining"
+            bad_status, bad_body = scrape(url(endpoint, "/healthz"))
+        assert ok_status == 200
+        assert json.loads(ok_body)["in_flight"] == 0
+        assert bad_status == 503
+        assert json.loads(bad_body)["status"] == "draining"
+
+
+class TestLifecycle:
+    def test_port_requires_start(self, registry):
+        endpoint = StatsEndpoint(registry)
+        with pytest.raises(ParameterError):
+            endpoint.port
+        with pytest.raises(ParameterError):
+            endpoint.address
+
+    def test_negative_port_rejected(self, registry):
+        with pytest.raises(ParameterError):
+            StatsEndpoint(registry, port=-1)
+
+    def test_double_start_rejected(self, registry):
+        endpoint = StatsEndpoint(registry).start()
+        try:
+            with pytest.raises(ParameterError):
+                endpoint.start()
+        finally:
+            endpoint.close()
+
+    def test_close_is_idempotent_and_releases_the_socket(self, registry):
+        endpoint = StatsEndpoint(registry).start()
+        host, port = endpoint.address
+        endpoint.close()
+        endpoint.close()
+        with pytest.raises(OSError):
+            scrape("http://%s:%d/metrics" % (host, port), timeout=1.0)

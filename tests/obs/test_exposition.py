@@ -1,0 +1,137 @@
+"""Unit tests for exposition rendering (`repro.obs.exposition`)."""
+
+import json
+
+from repro.obs.check import validate_exposition
+from repro.obs.exposition import (
+    JSON_CONTENT_TYPE,
+    PROMETHEUS_CONTENT_TYPE,
+    render_json,
+    render_json_text,
+    render_prometheus,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def populated_registry():
+    registry = MetricsRegistry()
+    registry.counter("events_total", "Events seen.").inc(7)
+    registry.gauge("queue_depth", "Items waiting.").set(3)
+    histogram = registry.histogram(
+        "latency_seconds", "Request latency.", buckets=(0.1, 0.5)
+    )
+    histogram.observe(0.05)
+    histogram.observe(0.3)
+    histogram.observe(2.0)
+    return registry
+
+
+class TestPrometheusText:
+    def test_ends_with_newline_and_validates(self):
+        text = render_prometheus(populated_registry())
+        assert text.endswith("\n")
+        assert validate_exposition(text) == []
+
+    def test_empty_registry_renders_a_bare_newline(self):
+        assert render_prometheus(MetricsRegistry()) == "\n"
+
+    def test_headers_appear_once_per_name(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", "Hits.", labels={"code": "200"}).inc()
+        registry.counter("hits_total", "Hits.", labels={"code": "500"}).inc()
+        text = render_prometheus(registry)
+        assert text.count("# TYPE hits_total counter") == 1
+        assert text.count("# HELP hits_total") == 1
+        assert 'hits_total{code="200"} 1' in text
+        assert 'hits_total{code="500"} 1' in text
+
+    def test_histogram_expands_to_cumulative_buckets(self):
+        text = render_prometheus(populated_registry())
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="0.5"} 2' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "latency_seconds_count 3" in text
+        assert "latency_seconds_sum" in text
+        assert "# TYPE latency_seconds histogram" in text
+
+    def test_integral_values_render_without_decimal_point(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(5.0)
+        assert "g 5\n" in render_prometheus(registry)
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "c_total", labels={"path": 'a\\b"c\nd'}
+        ).inc()
+        text = render_prometheus(registry)
+        assert 'path="a\\\\b\\"c\\nd"' in text
+        # escaping must keep the page parseable line by line
+        assert validate_exposition(text) == []
+
+    def test_help_text_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "line one\nback\\slash").inc()
+        text = render_prometheus(registry)
+        assert "# HELP c_total line one\\nback\\\\slash" in text
+        assert validate_exposition(text) == []
+
+    def test_content_types_are_the_documented_constants(self):
+        assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain")
+        assert "0.0.4" in PROMETHEUS_CONTENT_TYPE
+        assert JSON_CONTENT_TYPE.startswith("application/json")
+
+
+class TestJson:
+    def test_round_trip_recovers_every_value(self):
+        registry = populated_registry()
+        parsed = json.loads(render_json_text(registry))
+        by_name = {entry["name"]: entry for entry in parsed["metrics"]}
+        assert by_name["events_total"]["type"] == "counter"
+        assert by_name["events_total"]["value"] == 7
+        assert by_name["queue_depth"]["type"] == "gauge"
+        assert by_name["queue_depth"]["value"] == 3
+        histogram = by_name["latency_seconds"]
+        assert histogram["type"] == "histogram"
+        assert histogram["count"] == 3
+        assert histogram["sum"] == 0.05 + 0.3 + 2.0
+        assert histogram["buckets"] == [
+            {"le": 0.1, "count": 1},
+            {"le": 0.5, "count": 2},
+            {"le": "+Inf", "count": 3},
+        ]
+
+    def test_labels_round_trip_as_mappings(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labels={"mode": "parallel"}).inc(2)
+        document = render_json(registry)
+        (entry,) = document["metrics"]
+        assert entry["labels"] == {"mode": "parallel"}
+        assert entry["value"] == 2
+
+    def test_text_form_is_stable_and_newline_terminated(self):
+        registry = populated_registry()
+        first = render_json_text(registry)
+        second = render_json_text(registry)
+        assert first == second
+        assert first.endswith("\n")
+
+
+class TestValidator:
+    def test_flags_malformed_sample(self):
+        problems = validate_exposition("this is {not a sample\n")
+        assert any("malformed" in problem for problem in problems)
+
+    def test_flags_missing_trailing_newline(self):
+        problems = validate_exposition("# TYPE a counter\na 1")
+        assert any("newline" in problem for problem in problems)
+
+    def test_flags_empty_body_and_no_samples(self):
+        assert validate_exposition("") == ["empty exposition body"]
+        problems = validate_exposition("# TYPE a counter\n")
+        assert any("no samples" in problem for problem in problems)
+
+    def test_flags_sample_without_type_declaration(self):
+        page = "# TYPE a counter\na 1\nmystery 2\n"
+        problems = validate_exposition(page)
+        assert any("no # TYPE" in problem for problem in problems)

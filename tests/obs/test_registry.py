@@ -1,0 +1,202 @@
+"""Unit tests for metric instruments (`repro.obs.registry`)."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates_and_returns_total(self):
+        counter = Counter("c_total")
+        assert counter.inc() == 1
+        assert counter.inc(41) == 42
+        assert counter.value == 42
+
+    def test_zero_increment_allowed(self):
+        counter = Counter("c_total")
+        assert counter.inc(0) == 0
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("c_total")
+        with pytest.raises(ParameterError):
+            counter.inc(-1)
+        assert counter.value == 0
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ParameterError):
+            Counter("0starts_with_digit")
+        with pytest.raises(ParameterError):
+            Counter("has space")
+
+    def test_concurrent_hammer_loses_nothing(self):
+        """8 threads x 1000 increments: the lock keeps the total exact."""
+        counter = Counter("c_total")
+        threads = 8
+        per_thread = 1000
+
+        def hammer():
+            for _ in range(per_thread):
+                counter.inc()
+
+        pool = [threading.Thread(target=hammer) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert counter.value == threads * per_thread
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        assert gauge.value == 5.0
+        assert gauge.inc(2.5) == 7.5
+        assert gauge.dec(10) == -2.5  # gauges may go negative
+
+    def test_snapshot_carries_value(self):
+        gauge = Gauge("g", "help here")
+        gauge.set(3)
+        snap = gauge.snapshot()
+        assert snap.kind == "gauge"
+        assert snap.value == 3.0
+        assert snap.help_text == "help here"
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        """value == bound lands in that bucket; just above spills over."""
+        histogram = Histogram("h", buckets=(0.1, 0.5, 1.0))
+        histogram.observe(0.1)  # exactly on the first bound
+        histogram.observe(0.10000001)  # just above -> second bucket
+        histogram.observe(1.0)  # exactly on the last finite bound
+        histogram.observe(2.0)  # beyond every bound -> +Inf tail
+        snap = histogram.snapshot()
+        # cumulative: le=0.1 -> 1, le=0.5 -> 2, le=1.0 -> 3, +Inf -> 4
+        assert snap.bucket_counts == (1, 2, 3, 4)
+        assert snap.count == 4
+        assert snap.sum_value == pytest.approx(0.1 + 0.10000001 + 1.0 + 2.0)
+
+    def test_tail_never_loses_an_observation(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(10.0)
+        histogram.observe(1e9)
+        snap = histogram.snapshot()
+        assert snap.bucket_counts == (0, 2)
+        assert snap.count == 2
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ParameterError):
+            Histogram("h", buckets=())
+        with pytest.raises(ParameterError):
+            Histogram("h", buckets=(1.0, 1.0))  # not strictly increasing
+        with pytest.raises(ParameterError):
+            Histogram("h", buckets=(1.0, 0.5))
+        with pytest.raises(ParameterError):
+            Histogram("h", buckets=(1.0, float("inf")))  # +Inf is implicit
+        with pytest.raises(ParameterError):
+            Histogram("h", buckets=(float("nan"),))
+
+    def test_concurrent_observes_keep_count_and_sum_consistent(self):
+        histogram = Histogram("h", buckets=DEFAULT_LATENCY_BUCKETS)
+        threads = 4
+        per_thread = 500
+
+        def hammer():
+            for _ in range(per_thread):
+                histogram.observe(0.01)
+
+        pool = [threading.Thread(target=hammer) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        total = threads * per_thread
+        snap = histogram.snapshot()
+        assert snap.count == total
+        assert snap.bucket_counts[-1] == total  # +Inf is cumulative-total
+        assert snap.sum_value == pytest.approx(total * 0.01)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("requests_total")
+        second = registry.counter("requests_total")
+        assert first is second
+        first.inc()
+        assert second.value == 1
+
+    def test_label_variants_are_distinct_instruments(self):
+        registry = MetricsRegistry()
+        ok = registry.counter("requests_total", labels={"code": "200"})
+        bad = registry.counter("requests_total", labels={"code": "500"})
+        assert ok is not bad
+        ok.inc(3)
+        assert bad.value == 0
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c", labels={"a": "1", "b": "2"})
+        second = registry.counter("c", labels={"b": "2", "a": "1"})
+        assert first is second
+
+    def test_label_values_coerced_to_strings(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c", labels={"code": 200})
+        second = registry.counter("c", labels={"code": "200"})
+        assert first is second
+
+    def test_invalid_label_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ParameterError):
+            registry.counter("c", labels={"0bad": "x"})
+
+    def test_kind_collision_rejected_across_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("thing", labels={"a": "1"})
+        with pytest.raises(ParameterError):
+            registry.gauge("thing")  # same name, different kind
+        with pytest.raises(ParameterError):
+            registry.histogram("thing", labels={"a": "2"})
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("latency", buckets=(0.1, 1.0))
+        with pytest.raises(ParameterError):
+            registry.histogram("latency", buckets=(0.5, 1.0))
+        # identical buckets are fine (get-or-create)
+        again = registry.histogram("latency", buckets=(0.1, 1.0))
+        assert again.bucket_bounds == (0.1, 1.0)
+
+    def test_collect_is_sorted_and_complete(self):
+        registry = MetricsRegistry()
+        registry.gauge("zebra")
+        registry.counter("alpha_total")
+        registry.histogram("mid_seconds", buckets=(1.0,))
+        names = [snap.name for snap in registry.collect()]
+        assert names == sorted(names)
+        assert set(names) == {"zebra", "alpha_total", "mid_seconds"}
+
+    def test_concurrent_get_or_create_yields_one_instrument(self):
+        registry = MetricsRegistry()
+        found = []
+
+        def create():
+            found.append(registry.counter("shared_total"))
+
+        pool = [threading.Thread(target=create) for _ in range(8)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert len({id(counter) for counter in found}) == 1

@@ -1,0 +1,104 @@
+"""Unit tests for phase tracing (`repro.obs.tracing`)."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import PHASE_FIELDS, PHASE_HISTOGRAM_NAME, Tracer
+
+
+class TestRecording:
+    def test_record_accumulates_totals_and_counts(self):
+        tracer = Tracer()
+        tracer.record("encrypt", 1.5)
+        tracer.record("encrypt", 0.5)
+        tracer.record("fold", 2.0)
+        assert tracer.totals() == {"encrypt": 2.0, "fold": 2.0}
+        assert tracer.counts() == {"encrypt": 2, "fold": 1}
+        assert tracer.total("encrypt") == 2.0
+        assert tracer.total("never-seen") == 0.0
+
+    def test_negative_duration_rejected(self):
+        tracer = Tracer()
+        with pytest.raises(ParameterError):
+            tracer.record("encrypt", -0.001)
+        assert tracer.totals() == {}
+
+    def test_span_measures_wall_clock(self):
+        tracer = Tracer()
+        with tracer.span("fold") as handle:
+            sum(range(1000))
+        assert handle.seconds >= 0.0
+        assert tracer.counts() == {"fold": 1}
+        assert tracer.total("fold") == handle.seconds
+
+    def test_span_ring_is_bounded_but_totals_are_not(self):
+        tracer = Tracer(keep_spans=4)
+        for index in range(10):
+            tracer.record("encrypt", float(index))
+        spans = tracer.spans()
+        assert len(spans) == 4
+        # oldest-first ring of the most recent entries
+        assert [span.seconds for span in spans] == [6.0, 7.0, 8.0, 9.0]
+        assert tracer.counts() == {"encrypt": 10}
+        assert tracer.total("encrypt") == sum(range(10))
+
+    def test_negative_keep_spans_rejected(self):
+        with pytest.raises(ParameterError):
+            Tracer(keep_spans=-1)
+
+
+class TestBreakdown:
+    def test_canonical_phases_map_to_breakdown_fields(self):
+        tracer = Tracer()
+        tracer.record("encrypt", 1.0)
+        tracer.record("fold", 2.0)
+        tracer.record("communication", 3.0)
+        tracer.record("decrypt", 4.0)
+        tracer.record("offline", 5.0)
+        tracer.record("combine", 6.0)
+        breakdown = tracer.breakdown()
+        assert breakdown.client_encrypt_s == 1.0
+        assert breakdown.server_compute_s == 2.0
+        assert breakdown.communication_s == 3.0
+        assert breakdown.client_decrypt_s == 4.0
+        assert breakdown.offline_precompute_s == 5.0
+        assert breakdown.combine_s == 6.0
+
+    def test_aliases_fold_into_one_field(self):
+        tracer = Tracer()
+        tracer.record("fold", 1.0)
+        tracer.record("server_compute", 2.0)
+        assert tracer.breakdown().server_compute_s == 3.0
+        assert PHASE_FIELDS["fold"] == PHASE_FIELDS["server_compute"]
+
+    def test_unknown_phases_stay_in_totals_only(self):
+        tracer = Tracer()
+        tracer.record("resume", 9.0)
+        assert tracer.total("resume") == 9.0
+        breakdown = tracer.breakdown()
+        assert breakdown.server_compute_s == 0.0
+        assert breakdown.client_encrypt_s == 0.0
+
+
+class TestRegistryAttachment:
+    def test_spans_flow_into_phase_histogram(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry)
+        tracer.record("fold", 0.02)
+        tracer.record("fold", 0.03)
+        tracer.record("encrypt", 0.5)
+        fold = registry.histogram(
+            PHASE_HISTOGRAM_NAME, labels={"phase": "fold"}
+        )
+        encrypt = registry.histogram(
+            PHASE_HISTOGRAM_NAME, labels={"phase": "encrypt"}
+        )
+        assert fold.count == 2
+        assert fold.sum_value == pytest.approx(0.05)
+        assert encrypt.count == 1
+
+    def test_detached_tracer_touches_no_registry(self):
+        tracer = Tracer()
+        tracer.record("fold", 1.0)
+        assert tracer.registry is None
