@@ -140,6 +140,16 @@ class AnalysisConfig:
         ),
         LockGuard("SpfeServer", "_active_lock", frozenset({"_active"})),
         LockGuard("SpfeServer", "_budget_lock", frozenset({"_in_flight"})),
+        # the durable-state tier: one SQLite connection behind one lock,
+        # and the supervisor's child handle + restart accounting
+        LockGuard("StateStore", "_lock", frozenset({"_conn"})),
+        LockGuard(
+            "ServerSupervisor",
+            "_lock",
+            frozenset(
+                {"_child", "_monitor", "_stopping", "_gave_up", "_restarts"}
+            ),
+        ),
     )
 
     def is_exception_name(self, name: str) -> bool:

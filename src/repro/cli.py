@@ -13,7 +13,13 @@ Commands:
 * ``serve`` / ``query`` — run the real wire protocol over TCP: ``serve``
   holds a database and answers one private-sum query per connection;
   ``query`` connects, streams its encrypted selection, and prints the
-  decrypted sum.
+  decrypted sum.  With ``--state-dir`` the server journals resumable
+  sessions durably (clients RESUME across a server *restart*) and can
+  load its database by name from the store.
+* ``supervise`` — run ``repro serve`` as a supervised child process,
+  restarting it on crash with bounded exponential backoff.
+* ``store`` — inspect and manage a ``--state-dir`` state store
+  (``info``, ``ls``, ``import-db``).
 * ``stats`` — scrape a running server's ``--stats-port`` endpoint and
   pretty-print its metrics (counters, gauges, histogram summaries).
 
@@ -184,6 +190,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="after shutdown, write the final metrics registry to PATH "
         "as structured JSON",
     )
+    serve_cmd.add_argument(
+        "--state-dir", metavar="DIR", default=None,
+        help="durable state directory: resumable sessions are journalled "
+        "to SQLite so clients RESUME across a server restart, and "
+        "databases/precomputation persist between runs",
+    )
+    serve_cmd.add_argument(
+        "--db-name", metavar="NAME", default=None,
+        help="with --state-dir: load the database by NAME from the store "
+        "(when no --db/--random is given), or save the loaded database "
+        "under NAME for future warm starts",
+    )
+
+    sup_cmd = commands.add_parser(
+        "supervise",
+        help="run `repro serve` under a crash-restarting supervisor",
+    )
+    sup_cmd.add_argument(
+        "--max-restarts", type=int, default=5,
+        help="crashes tolerated within one backoff window before giving up",
+    )
+    sup_cmd.add_argument(
+        "--restart-backoff", type=float, default=0.5,
+        help="base restart delay in seconds (doubles per consecutive crash)",
+    )
+    sup_cmd.add_argument(
+        "serve_args", nargs=argparse.REMAINDER,
+        help="arguments passed through to `repro serve` "
+        "(prefix with -- to separate)",
+    )
+
+    store_cmd = commands.add_parser(
+        "store", help="inspect/manage a --state-dir state store"
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    store_info = store_sub.add_parser(
+        "info", help="schema version, journalled sessions, cached keys"
+    )
+    store_info.add_argument("--state-dir", required=True, metavar="DIR")
+    store_ls = store_sub.add_parser("ls", help="list stored databases")
+    store_ls.add_argument("--state-dir", required=True, metavar="DIR")
+    store_import = store_sub.add_parser(
+        "import-db", help="load a database file into the store under a name"
+    )
+    store_import.add_argument("--state-dir", required=True, metavar="DIR")
+    store_import.add_argument("--name", required=True)
+    store_import.add_argument("--db", help="file with one integer per line")
+    store_import.add_argument("--random", type=int, metavar="N")
+    store_import.add_argument("--seed", default="cli")
 
     stats_cmd = commands.add_parser(
         "stats", help="pretty-print a server's /metrics endpoint"
@@ -452,68 +507,162 @@ def cmd_serve(args, out) -> int:
     from repro.net.server import SpfeServer
     from repro.spfe.validation import ServerPolicy
 
-    database = _load_database(args)
     if args.queries < 0:
         raise ReproError("--queries must be non-negative")
+    if args.db_name and not args.state_dir:
+        raise ReproError("--db-name requires --state-dir")
     policy = ServerPolicy(
         min_key_bits=args.min_key_bits, max_key_bits=args.max_key_bits
     )
     from repro.obs.registry import MetricsRegistry
 
     registry = MetricsRegistry()
-    engine = None
-    if args.workers > 1 or args.no_multiexp:
-        from repro.crypto.engine import CryptoEngine
+    store = None
+    if args.state_dir:
+        from repro.store import StateStore
 
-        engine = CryptoEngine(
-            workers=max(1, args.workers),
-            use_multiexp=not args.no_multiexp,
-            metrics=registry,
-        )
-    server = SpfeServer(
-        database,
-        host=args.host,
-        port=args.port,
-        policy=policy,
-        max_sessions=args.max_sessions,
-        accept_backlog=args.backlog,
-        read_timeout=args.timeout or None,
-        connection_deadline_s=args.session_timeout or None,
-        max_queries=args.queries,
-        engine=engine,
-        metrics=registry,
-        stats_port=args.stats_port,
-        log=out.write,
-    )
-    server.start()
-    host, port = server.address
-    timeout = args.timeout or None
-    out.write(
-        "serving %d rows on %s:%d (%s queries, %d workers, %s read deadline)\n"
-        % (len(database), host, port,
-           str(args.queries) if args.queries else "unlimited",
-           args.max_sessions, "%.1fs" % timeout if timeout else "no")
-    )
-    if args.stats_port is not None:
-        stats_host, stats_port = server.stats_address
-        out.write(
-            "stats endpoint on http://%s:%d/metrics\n" % (stats_host, stats_port)
-        )
-    # Signal handlers only work on the main thread; the in-process test
-    # harness drives this command from worker threads, where the server
-    # drains via --queries instead.
-    restore = None
-    if threading.current_thread() is threading.main_thread():
-        restore = server.install_signal_handlers()
+        store = StateStore.open(args.state_dir, metrics=registry)
     try:
-        server.wait(drain_deadline_s=args.drain_timeout)
+        if store is not None and args.db_name and not (args.db or args.random):
+            # Warm start: the database comes straight out of the store.
+            database = store.load_database(args.db_name)
+            out.write(
+                "database %r loaded from state store (%d rows)\n"
+                % (args.db_name, len(database))
+            )
+        else:
+            database = _load_database(args)
+            if store is not None and args.db_name:
+                store.save_database(args.db_name, database)
+                out.write("database saved to store as %r\n" % args.db_name)
+        engine = None
+        if args.workers > 1 or args.no_multiexp:
+            from repro.crypto.engine import CryptoEngine
+
+            engine = CryptoEngine(
+                workers=max(1, args.workers),
+                use_multiexp=not args.no_multiexp,
+                metrics=registry,
+            )
+        server = SpfeServer(
+            database,
+            host=args.host,
+            port=args.port,
+            policy=policy,
+            store=store,
+            max_sessions=args.max_sessions,
+            accept_backlog=args.backlog,
+            read_timeout=args.timeout or None,
+            connection_deadline_s=args.session_timeout or None,
+            max_queries=args.queries,
+            engine=engine,
+            metrics=registry,
+            stats_port=args.stats_port,
+            log=out.write,
+        )
+        server.start()
+        host, port = server.address
+        timeout = args.timeout or None
+        out.write(
+            "serving %d rows on %s:%d (%s queries, %d workers, %s read deadline)\n"
+            % (len(database), host, port,
+               str(args.queries) if args.queries else "unlimited",
+               args.max_sessions, "%.1fs" % timeout if timeout else "no")
+        )
+        if store is not None:
+            out.write(
+                "state dir: %s (%d journalled sessions)\n"
+                % (args.state_dir, store.session_count())
+            )
+        if args.stats_port is not None:
+            stats_host, stats_port = server.stats_address
+            out.write(
+                "stats endpoint on http://%s:%d/metrics\n" % (stats_host, stats_port)
+            )
+        # Signal handlers only work on the main thread; the in-process test
+        # harness drives this command from worker threads, where the server
+        # drains via --queries instead.
+        restore = None
+        if threading.current_thread() is threading.main_thread():
+            restore = server.install_signal_handlers()
+        try:
+            server.wait(drain_deadline_s=args.drain_timeout)
+        finally:
+            server.stop(drain_deadline_s=args.drain_timeout)
+            if restore is not None:
+                restore()
+        out.write(server.stats.summary() + "\n")
+        if args.metrics_json:
+            _write_metrics_json(registry, args.metrics_json, out)
     finally:
-        server.stop(drain_deadline_s=args.drain_timeout)
-        if restore is not None:
-            restore()
-    out.write(server.stats.summary() + "\n")
-    if args.metrics_json:
-        _write_metrics_json(registry, args.metrics_json, out)
+        if store is not None:
+            store.close()
+    return 0
+
+
+def cmd_supervise(args, out) -> int:
+    import threading
+
+    from repro.store.supervisor import ServerSupervisor, SupervisorPolicy
+
+    serve_args = list(args.serve_args)
+    if serve_args and serve_args[0] == "--":
+        serve_args = serve_args[1:]
+    supervisor = ServerSupervisor(
+        [sys.executable, "-m", "repro", "serve"] + serve_args,
+        policy=SupervisorPolicy(
+            max_restarts=args.max_restarts,
+            base_delay_s=args.restart_backoff,
+        ),
+    )
+    pid = supervisor.start()
+    out.write("supervising `repro serve %s` (pid %d)\n"
+              % (" ".join(serve_args), pid))
+    import signal as signal_module
+
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal_module.SIGINT, signal_module.SIGTERM):
+            signal_module.signal(
+                signum, lambda _sig, _frame: supervisor.stop()
+            )
+    supervisor.join()
+    out.write(
+        "supervision ended: %d restart(s)%s\n"
+        % (supervisor.restarts,
+           ", gave up (restart budget exhausted)" if supervisor.gave_up else "")
+    )
+    return 1 if supervisor.gave_up else 0
+
+
+def cmd_store(args, out) -> int:
+    from repro.store import SCHEMA_VERSION, StateStore
+
+    store = StateStore.open(args.state_dir)
+    try:
+        if args.store_command == "info":
+            out.write("state store: %s\n" % store.path)
+            out.write("schema version: v%d\n" % SCHEMA_VERSION)
+            out.write("journalled sessions: %d\n" % store.session_count())
+            databases = store.list_databases()
+            out.write("databases: %d\n" % len(databases))
+        elif args.store_command == "ls":
+            databases = store.list_databases()
+            if not databases:
+                out.write("no databases stored\n")
+            for name, length, value_bits in databases:
+                out.write(
+                    "%-24s %10d rows  %2d-bit values\n"
+                    % (name, length, value_bits)
+                )
+        else:  # import-db
+            database = _load_database(args)
+            store.save_database(args.name, database)
+            out.write(
+                "imported %d rows as %r into %s\n"
+                % (len(database), args.name, store.path)
+            )
+    finally:
+        store.close()
     return 0
 
 
@@ -599,6 +748,8 @@ _COMMANDS = {
     "keygen": cmd_keygen,
     "plan": cmd_plan,
     "serve": cmd_serve,
+    "supervise": cmd_supervise,
+    "store": cmd_store,
     "query": cmd_query,
     "stats": cmd_stats,
 }

@@ -30,6 +30,8 @@ __all__ = [
     "ValidationError",
     "PolicyViolation",
     "ServerBusy",
+    "StoreError",
+    "SupervisorError",
 ]
 
 
@@ -138,5 +140,28 @@ class ServerBusy(TransportError):
 
     A :class:`TransportError` subclass deliberately: load shedding is a
     transient condition, so :func:`~repro.spfe.session.run_resilient`
-    retries it under the normal backoff policy.
+    retries it — under the *busy* schedule of its
+    :class:`~repro.net.transport.RetryPolicy`, which backs off longer
+    than the plain transport-failure schedule so a shed fleet re-enters
+    gently instead of hammering a saturated server.
+
+    ``retry_after_ms`` carries the server's retry hint from the BUSY
+    frame (0 when the server sent none); the busy backoff schedule
+    never sleeps less than it.
     """
+
+    def __init__(self, message: str, retry_after_ms: int = 0) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class StoreError(ReproError):
+    """Raised when the persistent state store cannot be opened or used.
+
+    Covers SQLite-level failures (corrupt file, locked database), a
+    schema newer than this code, and malformed persisted records.
+    """
+
+
+class SupervisorError(ReproError):
+    """Raised when the server supervisor cannot (re)start its child."""

@@ -63,6 +63,7 @@ from repro.obs.registry import Counter, MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.spfe.session import ServerSession, SessionRegistry
 from repro.spfe.validation import ServerPolicy
+from repro.store.state import StateStore
 
 __all__ = ["ServerStats", "SpfeServer", "DEFAULT_DRAIN_DEADLINE_S"]
 
@@ -185,6 +186,12 @@ class SpfeServer:
             permissive policy to loosen).
         registry: shared resume registry; None builds one sized by the
             policy's registry budgets.
+        store: optional :class:`~repro.store.state.StateStore` making
+            the registry a durable journal — sessions survive a server
+            *process* restart, not just a dropped connection.  Ignored
+            when an explicit ``registry`` is passed (attach the store to
+            that registry instead).  The server does not own the store:
+            the caller that opened it closes it after :meth:`stop`.
         max_sessions: worker threads = maximum concurrent sessions.
         accept_backlog: bounded queue of accepted-but-unstarted
             connections; beyond it, connections are shed with BUSY.
@@ -230,6 +237,7 @@ class SpfeServer:
         *,
         policy: Optional[ServerPolicy] = None,
         registry: Optional[SessionRegistry] = None,
+        store: Optional[StateStore] = None,
         max_sessions: int = 4,
         accept_backlog: int = 8,
         read_timeout: Optional[float] = 30.0,
@@ -252,10 +260,11 @@ class SpfeServer:
         self.database = database
         self.host = host
         self.policy = policy if policy is not None else ServerPolicy()
+        self.store = store if registry is None else None
         self.registry = (
             registry
             if registry is not None
-            else SessionRegistry.from_policy(self.policy)
+            else SessionRegistry.from_policy(self.policy, store=self.store)
         )
         self.max_sessions = max_sessions
         self.accept_backlog = accept_backlog

@@ -276,6 +276,13 @@ class RetryPolicy:
     clients does not stampede in lockstep.  Jitter randomness comes from
     a :class:`~repro.crypto.rng.RandomSource`, so seeded runs replay the
     exact same schedule.
+
+    A second, slower schedule handles **load shedding**: when the server
+    answers BUSY (:class:`~repro.exceptions.ServerBusy`) the connection
+    is healthy — the server is saturated — so re-entering on the crash
+    schedule just re-joins the stampede.  :meth:`busy_delay_s` backs off
+    from ``busy_base_delay_s`` (deliberately larger) and never sleeps
+    less than the server's own ``retry_after_ms`` hint.
     """
 
     max_attempts: int = 3
@@ -283,6 +290,9 @@ class RetryPolicy:
     max_delay_s: float = 2.0
     multiplier: float = 2.0
     jitter: float = 0.5
+    busy_base_delay_s: float = 0.25
+    busy_max_delay_s: float = 10.0
+    busy_multiplier: float = 2.0
 
     def __post_init__(self) -> None:
         """Validate the policy parameters."""
@@ -294,18 +304,39 @@ class RetryPolicy:
             raise ValueError("multiplier must be >= 1")
         if not 0.0 <= self.jitter <= 1.0:
             raise ValueError("jitter must be in [0, 1]")
+        if self.busy_base_delay_s < 0 or self.busy_max_delay_s < 0:
+            raise ValueError("busy delays must be non-negative")
+        if self.busy_multiplier < 1.0:
+            raise ValueError("busy_multiplier must be >= 1")
+
+    def _jittered(self, capped: float, rng: RandomSource) -> float:
+        if self.jitter == 0.0 or capped == 0.0:
+            return capped
+        # Uniform factor in [1 - jitter, 1 + jitter], 2^-20 resolution.
+        unit = rng.randbits(20) / float(1 << 20)
+        return capped * (1.0 - self.jitter + 2.0 * self.jitter * unit)
 
     def delay_s(self, retry_index: int, rng: RandomSource) -> float:
         """Backoff before the ``retry_index``-th retry (1-based)."""
         if retry_index < 1:
             raise ValueError("retry_index is 1-based")
         raw = self.base_delay_s * self.multiplier ** (retry_index - 1)
-        capped = min(raw, self.max_delay_s)
-        if self.jitter == 0.0 or capped == 0.0:
-            return capped
-        # Uniform factor in [1 - jitter, 1 + jitter], 2^-20 resolution.
-        unit = rng.randbits(20) / float(1 << 20)
-        return capped * (1.0 - self.jitter + 2.0 * self.jitter * unit)
+        return self._jittered(min(raw, self.max_delay_s), rng)
+
+    def busy_delay_s(
+        self, retry_index: int, rng: RandomSource, hint_ms: int = 0
+    ) -> float:
+        """Backoff before retrying a BUSY-shed attempt (1-based).
+
+        ``hint_ms`` is the server's retry hint from the BUSY frame; the
+        returned delay is floored at it (jitter can stretch above but
+        never dip below what the server asked for).
+        """
+        if retry_index < 1:
+            raise ValueError("retry_index is 1-based")
+        raw = self.busy_base_delay_s * self.busy_multiplier ** (retry_index - 1)
+        delay = self._jittered(min(raw, self.busy_max_delay_s), rng)
+        return max(delay, hint_ms / 1000.0)
 
     def delays(self, rng: RandomSource) -> Iterator[float]:
         """The full backoff schedule: one delay per allowed retry."""
@@ -319,6 +350,7 @@ RETRY_METRIC_HELP = {
     "repro_retry_attempts_total": "Operation attempts made under a retry policy.",
     "repro_retry_giveups_total": "Retry policies exhausted (RetryExhausted raised).",
     "repro_retry_backoff_seconds": "Backoff delay slept before each retry.",
+    "repro_retry_busy_total": "Attempts shed by the server with BUSY and retried.",
 }
 
 

@@ -72,6 +72,7 @@ from repro.net.transport import (
     Transport,
 )
 from repro.obs.registry import MetricsRegistry
+from repro.store.state import SessionRecord, StateStore
 from repro.obs.tracing import Tracer
 from repro.spfe.validation import (
     ServerPolicy,
@@ -271,7 +272,8 @@ class ClientSession:
         if frame.frame_type == FrameType.BUSY:
             hint_ms = codec.decode_busy(frame.payload)
             raise ServerBusy(
-                "server is shedding load (retry after %d ms)" % hint_ms
+                "server is shedding load (retry after %d ms)" % hint_ms,
+                retry_after_ms=hint_ms,
             )
         if frame.frame_type == FrameType.ACK:
             if not self._awaiting_ack:
@@ -357,10 +359,22 @@ class SessionRegistry:
     lock.  Stored states are treated as frozen — sessions save
     :meth:`_ResumeState.snapshot` copies and copy again on resume — so
     an entry read under the lock stays consistent after it is released.
+
+    With a :class:`~repro.store.state.StateStore` attached the registry
+    becomes a *journal*: every save is also written durably, a memory
+    miss falls back to the journal (so a **restarted** server process
+    resumes sessions its predecessor was serving), and eviction/discard
+    delete the journal row too — an evicted session answers
+    ``RESUME_UNKNOWN`` after a restart exactly as it does before one,
+    never a stale snapshot.  Store writes happen outside the registry
+    lock (lock order: registry, then store, never back).
     """
 
     def __init__(
-        self, capacity: int = 64, max_bytes: Optional[int] = None
+        self,
+        capacity: int = 64,
+        max_bytes: Optional[int] = None,
+        store: Optional[StateStore] = None,
     ) -> None:
         if capacity < 1:
             raise ParameterError("registry capacity must be positive")
@@ -368,18 +382,25 @@ class SessionRegistry:
             raise ParameterError("registry byte budget must be positive")
         self.capacity = capacity
         self.max_bytes = max_bytes
+        self.store = store
         self._lock = threading.Lock()
         self._states: "OrderedDict[bytes, _ResumeState]" = OrderedDict()
         self.evictions = 0
+        #: sessions recovered from the journal after a memory miss
+        #: (i.e. across a process restart)
+        self.recoveries = 0
         #: resident ciphertext bytes across all stored states
         self.resident_bytes = 0
 
     @classmethod
-    def from_policy(cls, policy: ServerPolicy) -> "SessionRegistry":
+    def from_policy(
+        cls, policy: ServerPolicy, store: Optional[StateStore] = None
+    ) -> "SessionRegistry":
         """Build a registry sized by a :class:`ServerPolicy`."""
         return cls(
             capacity=policy.max_registry_sessions,
             max_bytes=policy.max_registry_bytes,
+            store=store,
         )
 
     @staticmethod
@@ -388,49 +409,129 @@ class SessionRegistry:
         # tests; real _ResumeState always carries resident_bytes.
         return getattr(state, "resident_bytes", 0)
 
-    def _evict_lru_locked(self) -> None:
-        """Evict the LRU entry; caller holds ``self._lock``."""
-        _, evicted = self._states.popitem(last=False)
+    @staticmethod
+    def _record_from_state(
+        session_id: bytes, state: _ResumeState
+    ) -> SessionRecord:
+        return SessionRecord(
+            session_id=session_id,
+            key_bits=state.key_bits,
+            chunk_size=state.chunk_size,
+            public_n=state.public_key.n,
+            aggregate=state.aggregate,
+            received=state.received,
+            chunks_received=state.chunks_received,
+            done=state.done,
+        )
+
+    @staticmethod
+    def _state_from_record(record: SessionRecord) -> _ResumeState:
+        state = _ResumeState(
+            record.key_bits,
+            record.chunk_size,
+            PaillierPublicKey(record.public_n),
+        )
+        state.aggregate = record.aggregate
+        state.received = record.received
+        state.chunks_received = record.chunks_received
+        state.done = record.done
+        return state
+
+    def _evict_lru_locked(self) -> bytes:
+        """Evict the LRU entry; caller holds ``self._lock``.
+
+        Returns the evicted session id so the caller can delete the
+        journal row *after* releasing the lock.
+        """
+        session_id, evicted = self._states.popitem(last=False)
         self.resident_bytes -= self._state_bytes(evicted)
         self.evictions += 1
+        return session_id
+
+    def _insert_locked(
+        self, session_id: bytes, state: _ResumeState
+    ) -> List[bytes]:
+        """Insert/refresh an entry; caller holds ``self._lock``.
+
+        Returns the session ids evicted to make room.
+        """
+        previous = self._states.get(session_id)
+        if previous is not None:
+            self.resident_bytes -= self._state_bytes(previous)
+        self._states[session_id] = state
+        self.resident_bytes += self._state_bytes(state)
+        self._states.move_to_end(session_id)
+        evicted: List[bytes] = []
+        while len(self._states) > self.capacity:
+            evicted.append(self._evict_lru_locked())
+        if self.max_bytes is not None:
+            while (
+                len(self._states) > 1
+                and self.resident_bytes > self.max_bytes
+            ):
+                evicted.append(self._evict_lru_locked())
+        return evicted
 
     def save(self, session_id: bytes, state: _ResumeState) -> None:
         """Insert or refresh a session, evicting LRU beyond either bound.
 
         The newest session is never evicted on its own account: a state
         larger than ``max_bytes`` by itself still resumes, it just has
-        the registry to itself.
+        the registry to itself.  With a store attached the snapshot is
+        journalled durably *before* this method returns — which is what
+        lets :meth:`ServerSession._on_chunk` guarantee that a RESULT is
+        journalled before it is sent.
         """
         with self._lock:
-            previous = self._states.get(session_id)
-            if previous is not None:
-                self.resident_bytes -= self._state_bytes(previous)
-            self._states[session_id] = state
-            self.resident_bytes += self._state_bytes(state)
-            self._states.move_to_end(session_id)
-            while len(self._states) > self.capacity:
-                self._evict_lru_locked()
-            if self.max_bytes is not None:
-                while (
-                    len(self._states) > 1
-                    and self.resident_bytes > self.max_bytes
-                ):
-                    self._evict_lru_locked()
+            evicted = self._insert_locked(session_id, state)
+        if self.store is not None:
+            for evicted_id in evicted:
+                self.store.delete_session(evicted_id)
+            self.store.save_session(self._record_from_state(session_id, state))
 
     def get(self, session_id: bytes) -> Optional[_ResumeState]:
-        """Look up (and LRU-touch) a session; None when unknown/evicted."""
+        """Look up (and LRU-touch) a session; None when unknown/evicted.
+
+        On a memory miss with a store attached, the journal is
+        consulted: a hit means this process restarted since the session
+        was journalled, so the snapshot is rehydrated into memory and
+        the resume proceeds as if the crash never happened.  Eviction
+        deletes the journal row, so an evicted session stays unknown
+        here — never a stale snapshot.
+        """
         with self._lock:
             state = self._states.get(session_id)
             if state is not None:
                 self._states.move_to_end(session_id)
-            return state
+                return state
+        if self.store is None:
+            return None
+        record = self.store.load_session(session_id)
+        if record is None:
+            return None
+        state = self._state_from_record(record)
+        with self._lock:
+            # A concurrent resume may have rehydrated first; prefer the
+            # entry already in memory (it can only be newer).
+            existing = self._states.get(session_id)
+            if existing is not None:
+                self._states.move_to_end(session_id)
+                return existing
+            evicted = self._insert_locked(session_id, state)
+            self.recoveries += 1
+        if self.store is not None:
+            for evicted_id in evicted:
+                self.store.delete_session(evicted_id)
+        return state
 
     def discard(self, session_id: bytes) -> None:
-        """Forget a session if present."""
+        """Forget a session if present (memory *and* journal)."""
         with self._lock:
             state = self._states.pop(session_id, None)
             if state is not None:
                 self.resident_bytes -= self._state_bytes(state)
+        if self.store is not None:
+            self.store.delete_session(session_id)
 
     def __len__(self) -> int:
         with self._lock:
@@ -800,13 +901,22 @@ def run_resilient(
     (and may itself raise transport errors, which count as failed
     attempts).  On a transport failure mid-run the client reconnects
     under ``policy`` and resumes from the server's ACK — re-sending
-    cached ciphertext chunks, never re-encrypting.  Protocol violations
-    are *not* retried; they propagate immediately.
+    cached ciphertext chunks, never re-encrypting.  This covers a
+    *restarted* server process too: a ``--state-dir`` server answers
+    the RESUME from its journal, and a server that lost the session
+    answers ``RESUME_UNKNOWN``, degrading to a fresh session that still
+    reuses every cached ciphertext.  Protocol violations are *not*
+    retried; they propagate immediately.
+
+    A BUSY shed (:class:`~repro.exceptions.ServerBusy`) is retried on
+    the policy's dedicated busy schedule — longer backoff, floored at
+    the server's ``retry_after_ms`` hint — so shed clients re-enter
+    gently instead of stampeding a saturated server.
 
     An optional ``metrics`` registry gets the same attempt/backoff/
-    give-up instruments as :func:`~repro.net.transport.call_with_retry`;
-    a client constructed with a tracer additionally records a ``resume``
-    span per reconnect handshake.
+    give-up instruments as :func:`~repro.net.transport.call_with_retry`
+    plus ``repro_retry_busy_total``; a client constructed with a tracer
+    additionally records a ``resume`` span per reconnect handshake.
 
     Raises :class:`~repro.exceptions.RetryExhausted` (with the last
     transport failure chained) when the policy gives up.
@@ -825,7 +935,15 @@ def run_resilient(
     last: Optional[TransportError] = None
     for attempt in range(policy.max_attempts):
         if attempt:
-            delay = policy.delay_s(attempt, rng)
+            if isinstance(last, ServerBusy):
+                delay = policy.busy_delay_s(attempt, rng, last.retry_after_ms)
+                if metrics is not None:
+                    metrics.counter(
+                        "repro_retry_busy_total",
+                        RETRY_METRIC_HELP["repro_retry_busy_total"],
+                    ).inc()
+            else:
+                delay = policy.delay_s(attempt, rng)
             if metrics is not None:
                 metrics.histogram(
                     "repro_retry_backoff_seconds",

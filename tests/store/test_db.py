@@ -1,0 +1,150 @@
+"""Schema/migration machinery of :mod:`repro.store.db`.
+
+The critical property: a store created by an *older* release opens
+cleanly under newer code (migrations run in order, data survives), and
+a store created by a *newer* release is refused rather than corrupted.
+"""
+
+import os
+import sqlite3
+
+import pytest
+
+from repro.exceptions import StoreError
+from repro.store.db import (
+    MIGRATIONS,
+    SCHEMA_VERSION,
+    migrate,
+    open_store_db,
+    schema_version,
+)
+from repro.store.state import SessionRecord, StateStore
+
+
+def test_fresh_store_is_at_latest_schema(tmp_path):
+    conn = open_store_db(str(tmp_path / "s.sqlite"))
+    try:
+        assert schema_version(conn) == SCHEMA_VERSION
+        # every migration recorded its dbversion row
+        rows = conn.execute(
+            "SELECT version, description FROM dbversion ORDER BY version"
+        ).fetchall()
+        assert [r[0] for r in rows] == [m[0] for m in MIGRATIONS]
+        assert all(r[1] for r in rows)  # descriptions are non-empty
+    finally:
+        conn.close()
+
+
+def test_reopen_is_idempotent(tmp_path):
+    path = str(tmp_path / "s.sqlite")
+    open_store_db(path).close()
+    conn = open_store_db(path)
+    try:
+        assert schema_version(conn) == SCHEMA_VERSION
+        assert (
+            conn.execute("SELECT COUNT(*) FROM dbversion").fetchone()[0]
+            == len(MIGRATIONS)
+        )
+    finally:
+        conn.close()
+
+
+def test_wal_mode_enabled(tmp_path):
+    conn = open_store_db(str(tmp_path / "s.sqlite"))
+    try:
+        assert conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+    finally:
+        conn.close()
+
+
+def test_migrate_returns_applied_versions(tmp_path):
+    conn = sqlite3.connect(str(tmp_path / "s.sqlite"))
+    try:
+        assert migrate(conn) == [m[0] for m in MIGRATIONS]
+        assert migrate(conn) == []  # already current: nothing to do
+    finally:
+        conn.close()
+
+
+def test_v1_store_upgrades_in_place_and_keeps_data(tmp_path):
+    """The CI migration scenario: open a v1-schema store with v2 code."""
+    path = str(tmp_path / "old.sqlite")
+    conn = open_store_db(path, migrations=MIGRATIONS[:1])
+    # a session journalled by the v1 release (no touched_at column yet)
+    conn.execute(
+        "INSERT INTO sessions (session_id, key_bits, chunk_size, public_n,"
+        " aggregate, received, chunks_received, done)"
+        " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+        (b"S" * 16, 128, 4, b"\x01\x23", b"\x07", 8, 2, 0),
+    )
+    conn.commit()
+    assert schema_version(conn) == 1
+    conn.close()
+
+    # current code opens it: v2 migration runs, data survives
+    store = StateStore(path)
+    try:
+        record = store.load_session(b"S" * 16)
+        assert record == SessionRecord(
+            session_id=b"S" * 16,
+            key_bits=128,
+            chunk_size=4,
+            public_n=0x123,
+            aggregate=7,
+            received=8,
+            chunks_received=2,
+            done=False,
+            touched_at=0.0,  # the v2 default for pre-v2 rows
+        )
+        # and the store is fully writable at the new schema
+        store.save_session(record)
+        assert store.load_session(b"S" * 16).touched_at > 0
+    finally:
+        store.close()
+    conn = sqlite3.connect(path)
+    try:
+        assert schema_version(conn) == SCHEMA_VERSION
+    finally:
+        conn.close()
+
+
+def test_newer_schema_is_refused(tmp_path):
+    path = str(tmp_path / "future.sqlite")
+    conn = open_store_db(path)
+    conn.execute(
+        "INSERT INTO dbversion (version, release_ts, description)"
+        " VALUES (?, 0, 'from the future')",
+        (SCHEMA_VERSION + 1,),
+    )
+    conn.commit()
+    conn.close()
+    with pytest.raises(StoreError, match="newer than this code"):
+        open_store_db(path)
+
+
+def test_unopenable_path_raises_store_error(tmp_path):
+    missing_dir = os.path.join(str(tmp_path), "no", "such", "dir", "s.sqlite")
+    with pytest.raises(StoreError, match="cannot open store"):
+        open_store_db(missing_dir)
+
+
+def test_migration_failure_leaves_resumable_prefix(tmp_path):
+    """A crash (or bug) mid-upgrade leaves a clean older version."""
+    path = str(tmp_path / "s.sqlite")
+    broken = MIGRATIONS[:1] + (
+        (2, "broken step", ("THIS IS NOT SQL",)),
+    )
+    with pytest.raises(StoreError, match="migration to schema v2"):
+        open_store_db(path, migrations=broken)
+    # v1 applied and committed; the failed v2 left no partial state
+    conn = sqlite3.connect(path)
+    try:
+        assert schema_version(conn) == 1
+    finally:
+        conn.close()
+    # ... and the real v2 migration completes the upgrade later
+    conn = open_store_db(path)
+    try:
+        assert schema_version(conn) == SCHEMA_VERSION
+    finally:
+        conn.close()

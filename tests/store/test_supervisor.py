@@ -1,0 +1,146 @@
+"""`ServerSupervisor`: restart-on-crash under a bounded backoff budget.
+
+The children here are tiny ``python -c`` scripts, not full servers —
+the supervisor does not care what it runs, and small children keep the
+suite fast.  The chaos suite (``tests/integration/test_crash_recovery``)
+exercises the supervisor with real ``repro serve`` children.
+"""
+
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.exceptions import SupervisorError
+from repro.obs.registry import MetricsRegistry
+from repro.store.supervisor import ServerSupervisor, SupervisorPolicy
+
+FAST = SupervisorPolicy(max_restarts=3, base_delay_s=0.01, max_delay_s=0.05)
+
+
+def wait_until(predicate, timeout_s=10.0, poll_s=0.01):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll_s)
+    return predicate()
+
+
+def test_policy_validation():
+    with pytest.raises(SupervisorError):
+        SupervisorPolicy(max_restarts=-1)
+    with pytest.raises(SupervisorError):
+        SupervisorPolicy(base_delay_s=1.0, max_delay_s=0.5)
+    with pytest.raises(SupervisorError):
+        SupervisorPolicy(multiplier=0.5)
+    with pytest.raises(SupervisorError):
+        SupervisorPolicy(reset_after_s=0)
+
+
+def test_policy_backoff_is_bounded_exponential():
+    policy = SupervisorPolicy(base_delay_s=0.1, multiplier=2.0, max_delay_s=0.5)
+    assert policy.delay_s(1) == pytest.approx(0.1)
+    assert policy.delay_s(2) == pytest.approx(0.2)
+    assert policy.delay_s(3) == pytest.approx(0.4)
+    assert policy.delay_s(4) == pytest.approx(0.5)  # capped
+    assert policy.delay_s(10) == pytest.approx(0.5)
+
+
+def test_empty_argv_rejected():
+    with pytest.raises(SupervisorError):
+        ServerSupervisor([])
+
+
+def test_unstartable_child_raises():
+    supervisor = ServerSupervisor(["/no/such/binary-xyzzy"], policy=FAST)
+    with pytest.raises(SupervisorError, match="cannot start"):
+        supervisor.start()
+
+
+def test_clean_exit_ends_supervision():
+    supervisor = ServerSupervisor(
+        [sys.executable, "-c", "pass"], policy=FAST,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    supervisor.start()
+    supervisor.join(timeout_s=10.0)
+    assert supervisor.restarts == 0
+    assert not supervisor.gave_up
+    assert supervisor.pid is None
+
+
+def test_crashing_child_is_restarted_until_budget_exhausted():
+    metrics = MetricsRegistry()
+    supervisor = ServerSupervisor(
+        [sys.executable, "-c", "import sys; sys.exit(3)"],
+        policy=FAST,
+        metrics=metrics,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    supervisor.start()
+    supervisor.join(timeout_s=30.0)
+    assert supervisor.gave_up
+    assert supervisor.restarts == FAST.max_restarts
+    counters = {
+        snap.name: snap.value
+        for snap in metrics.collect()
+        if snap.kind == "counter"
+    }
+    assert counters["repro_store_supervisor_restarts_total"] == FAST.max_restarts
+    assert counters["repro_store_supervisor_giveups_total"] == 1
+
+
+def test_sigkill_restarts_long_lived_child():
+    """The chaos primitive: kill -9, supervisor brings the child back."""
+    supervisor = ServerSupervisor(
+        [sys.executable, "-c", "import time; time.sleep(600)"],
+        policy=FAST,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        first_pid = supervisor.start()
+        assert supervisor.pid == first_pid
+        import os
+        import signal
+
+        os.kill(first_pid, signal.SIGKILL)
+        assert wait_until(
+            lambda: supervisor.pid is not None and supervisor.pid != first_pid
+        )
+        assert supervisor.restarts == 1
+        assert not supervisor.gave_up
+    finally:
+        supervisor.stop()
+    assert supervisor.pid is None
+
+
+def test_stop_terminates_without_counting_a_restart():
+    supervisor = ServerSupervisor(
+        [sys.executable, "-c", "import time; time.sleep(600)"],
+        policy=FAST,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    supervisor.start()
+    supervisor.stop()
+    assert supervisor.restarts == 0
+    assert not supervisor.gave_up
+
+
+def test_double_start_rejected():
+    supervisor = ServerSupervisor(
+        [sys.executable, "-c", "import time; time.sleep(600)"],
+        policy=FAST,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    supervisor.start()
+    try:
+        with pytest.raises(SupervisorError, match="already started"):
+            supervisor.start()
+    finally:
+        supervisor.stop()
