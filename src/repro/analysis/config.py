@@ -129,8 +129,6 @@ class AnalysisConfig:
             "_lock",
             frozenset(
                 {
-                    "_pool",
-                    "pool_broken",
                     "parallel_batches",
                     "serial_batches",
                     "_fixed_base_h",
@@ -138,6 +136,13 @@ class AnalysisConfig:
                 }
             ),
         ),
+        # the v2 engine's warm-pool lifecycle and per-process key cache
+        LockGuard(
+            "WarmWorkerPool",
+            "_lock",
+            frozenset({"_executor", "_broken", "_closed", "_primed_key"}),
+        ),
+        LockGuard("KeyContextCache", "_lock", frozenset({"_contexts"})),
         LockGuard("SpfeServer", "_active_lock", frozenset({"_active"})),
         LockGuard("SpfeServer", "_budget_lock", frozenset({"_in_flight"})),
         # the durable-state tier: one SQLite connection behind one lock,

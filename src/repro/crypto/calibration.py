@@ -1,0 +1,341 @@
+"""Measured mode-selection calibration for :class:`~repro.crypto.engine.CryptoEngine`.
+
+The engine can run each batch four ways (naive serial fold, in-process
+multiexp, Montgomery multiexp, process-pool fan-out), and which one wins
+depends on the machine: core count, big-int throughput, process spawn
+cost.  Guessing is how v1 ended up shipping a parallel path that *lost*
+to single-core multiexp.  This module replaces the guess with a
+measurement:
+
+* :func:`run_calibration` times every mode the engine can route to, for
+  a grid of (key_bits, batch size) points, using seeded keys and the
+  *real* engine call path — so packing overhead, chunking, and pool
+  round-trips are all inside the measured number.
+* :class:`CalibrationProfile` stores the timings and answers
+  ``best_mode(kind, key_bits, size)`` by nearest measured point in log
+  space.  Profiles serialize to JSON and persist in the
+  :class:`~repro.store.state.StateStore` (``repro calibrate`` writes
+  one; ``repro serve``/``repro sum`` pick it up automatically).
+
+Crucially, mode selection is *routing only*: every mode computes
+bit-identical results (the multiexp/Montgomery kernels are bit-for-bit
+the naive fold, and chunk seed schedules never depend on the mode), so
+a stale or wrong profile can cost time but never correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "CalibrationProfile",
+    "run_calibration",
+    "render_mode_table",
+    "load_profile",
+    "save_profile",
+]
+
+#: Default measurement grid (matches the bench grid so the committed
+#: BENCH numbers and the shipped profile describe the same points).
+DEFAULT_KEY_BITS = (256, 512)
+DEFAULT_SIZES = (200, 1000)
+DEFAULT_ROUNDS = 3
+
+#: Identifier under which the profile is persisted in the state store.
+PROFILE_KIND = "engine-mode-profile"
+
+_PROFILE_VERSION = 1
+
+
+class CalibrationProfile:
+    """Timed mode crossovers per (kind, key_bits, size) point.
+
+    ``kind`` is one of the engine's routing kinds (``"encrypt"``,
+    ``"weighted"``); each recorded point maps mode name to best-of-N
+    wall-clock seconds.  Lookups snap to the nearest measured point in
+    ``(log2 key_bits, log2 size)`` space, so a profile measured at
+    512/1000 still routes a 512/800 batch sensibly.
+    """
+
+    def __init__(self, meta: Optional[Mapping[str, Any]] = None) -> None:
+        self.meta: Dict[str, Any] = dict(meta or {})
+        self._entries: Dict[Tuple[str, int, int], Dict[str, float]] = {}
+
+    # -- recording --------------------------------------------------------
+
+    def record(
+        self, kind: str, key_bits: int, size: int, timings: Mapping[str, float]
+    ) -> None:
+        """Store (replacing) the timings for one measured point."""
+        if key_bits < 1 or size < 1:
+            raise ParameterError("key_bits and size must be positive")
+        if not timings:
+            raise ParameterError("timings must not be empty")
+        self._entries[(kind, key_bits, size)] = {
+            mode: float(seconds) for mode, seconds in timings.items()
+        }
+
+    # -- lookup -----------------------------------------------------------
+
+    def points(
+        self, kind: Optional[str] = None
+    ) -> List[Tuple[str, int, int, Dict[str, float]]]:
+        """Every measured point, sorted, optionally filtered by kind."""
+        return [
+            (k, bits, size, dict(timings))
+            for (k, bits, size), timings in sorted(self._entries.items())
+            if kind is None or k == kind
+        ]
+
+    def timings(
+        self, kind: str, key_bits: int, size: int
+    ) -> Optional[Dict[str, float]]:
+        """The timings at the *nearest* measured point for ``kind``."""
+        nearest: Optional[Tuple[float, Tuple[str, int, int]]] = None
+        target = (math.log2(max(key_bits, 1)), math.log2(max(size, 1)))
+        for key in self._entries:
+            if key[0] != kind:
+                continue
+            distance = (math.log2(key[1]) - target[0]) ** 2 + (
+                math.log2(key[2]) - target[1]
+            ) ** 2
+            if nearest is None or distance < nearest[0]:
+                nearest = (distance, key)
+        if nearest is None:
+            return None
+        return dict(self._entries[nearest[1]])
+
+    def best_mode(self, kind: str, key_bits: int, size: int) -> Optional[str]:
+        """The measured-fastest mode near (key_bits, size), or None."""
+        timings = self.timings(kind, key_bits, size)
+        if not timings:
+            return None
+        return min(timings.items(), key=lambda item: item[1])[0]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- serialization ----------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize to the JSON document the state store persists."""
+        return json.dumps(
+            {
+                "version": _PROFILE_VERSION,
+                "meta": self.meta,
+                "entries": [
+                    {
+                        "kind": kind,
+                        "key_bits": bits,
+                        "size": size,
+                        "timings": timings,
+                    }
+                    for kind, bits, size, timings in self.points()
+                ],
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CalibrationProfile":
+        """Inverse of :meth:`to_json`; rejects unknown versions."""
+        try:
+            document = json.loads(text)
+        except ValueError as exc:
+            raise ParameterError("calibration profile is not valid JSON") from exc
+        if not isinstance(document, dict):
+            raise ParameterError("calibration profile must be a JSON object")
+        version = document.get("version")
+        if version != _PROFILE_VERSION:
+            raise ParameterError(
+                "unsupported calibration profile version %r" % (version,)
+            )
+        profile = cls(meta=document.get("meta") or {})
+        for entry in document.get("entries", ()):
+            profile.record(
+                str(entry["kind"]),
+                int(entry["key_bits"]),
+                int(entry["size"]),
+                {str(m): float(s) for m, s in entry["timings"].items()},
+            )
+        return profile
+
+
+class _ForcedMode:
+    """A stand-in profile that routes every batch to one fixed mode.
+
+    Used by the calibration run itself to force the engine down each
+    candidate path while measuring it (and handy in tests).
+    """
+
+    def __init__(self, mode: str) -> None:
+        self.mode = mode
+
+    def best_mode(self, kind: str, key_bits: int, size: int) -> str:
+        return self.mode
+
+
+def _best_of(fn: Callable[[], Any], rounds: int) -> float:
+    """Minimum wall-clock over ``rounds`` runs (noise-floor estimator)."""
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_calibration(
+    key_bits_list: Iterable[int] = DEFAULT_KEY_BITS,
+    sizes: Iterable[int] = DEFAULT_SIZES,
+    workers: int = 2,
+    rounds: int = DEFAULT_ROUNDS,
+    seed_label: str = "calibration",
+    progress: Optional[Callable[[str], None]] = None,
+) -> CalibrationProfile:
+    """Measure every engine mode over the (key_bits, size) grid.
+
+    Keys are generated deterministically from ``seed_label`` (a public
+    benchmark label, not key material) so repeat runs
+    measure the same arithmetic.  Every timing goes through the real
+    :class:`~repro.crypto.engine.CryptoEngine` call path — chunking,
+    packing, and pool round-trips included — because that is the cost
+    the router will actually pay.  Parallel modes are measured only
+    when ``workers > 1``.
+    """
+    from repro.crypto.engine import CryptoEngine
+    from repro.crypto.paillier import generate_keypair
+    from repro.crypto.rng import DeterministicRandom
+
+    key_bits_list = sorted(set(int(b) for b in key_bits_list))
+    sizes = sorted(set(int(s) for s in sizes))
+    if rounds < 1:
+        raise ParameterError("rounds must be positive")
+    profile = CalibrationProfile(
+        meta={"workers": workers, "rounds": rounds, "seed": seed_label}
+    )
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    for key_bits in key_bits_list:
+        keypair = generate_keypair(key_bits, "%s-%d" % (seed_label, key_bits))
+        public = keypair.public
+        rng = DeterministicRandom("%s-data-%d" % (seed_label, key_bits))
+        top = max(sizes)
+        all_cts = [public.encrypt_raw(i % 1024, rng) for i in range(top)]
+        all_weights = [rng.randrange(0, 1 << 32) for _ in range(top)]
+        for size in sizes:
+            cts, weights = all_cts[:size], all_weights[:size]
+            plaintexts = list(range(size))
+
+            # -- weighted aggregation ------------------------------------
+            timings: Dict[str, float] = {}
+            with CryptoEngine(workers=1, use_multiexp=False) as engine:
+                timings["serial"] = _best_of(
+                    lambda: engine.weighted_product(
+                        public.nsquare, public.n, cts, weights
+                    ),
+                    rounds,
+                )
+            with CryptoEngine(workers=1) as engine:
+                timings["multiexp"] = _best_of(
+                    lambda: engine.weighted_product(
+                        public.nsquare, public.n, cts, weights
+                    ),
+                    rounds,
+                )
+            with CryptoEngine(
+                workers=1, calibration=_ForcedMode("multiexp_mont")
+            ) as engine:
+                timings["multiexp_mont"] = _best_of(
+                    lambda: engine.weighted_product(
+                        public.nsquare, public.n, cts, weights
+                    ),
+                    rounds,
+                )
+            if workers > 1:
+                with CryptoEngine(
+                    workers=workers,
+                    chunk_size=max(1, -(-size // (2 * workers))),
+                    calibration=_ForcedMode("parallel"),
+                ) as engine:
+                    timings["parallel"] = _best_of(
+                        lambda: engine.weighted_product(
+                            public.nsquare, public.n, cts, weights
+                        ),
+                        rounds,
+                    )
+            profile.record("weighted", key_bits, size, timings)
+            note(
+                "weighted %4d-bit n=%-6d -> %s"
+                % (key_bits, size, profile.best_mode("weighted", key_bits, size))
+            )
+
+            # -- vector encryption ---------------------------------------
+            timings = {}
+            with CryptoEngine(workers=1) as engine:
+                timings["serial"] = _best_of(
+                    lambda: engine.encrypt_vector(
+                        public, plaintexts, "%s-enc" % seed_label
+                    ),
+                    rounds,
+                )
+            if workers > 1:
+                with CryptoEngine(
+                    workers=workers,
+                    chunk_size=max(1, -(-size // (2 * workers))),
+                    calibration=_ForcedMode("parallel"),
+                ) as engine:
+                    timings["parallel"] = _best_of(
+                        lambda: engine.encrypt_vector(
+                            public, plaintexts, "%s-enc" % seed_label
+                        ),
+                        rounds,
+                    )
+            profile.record("encrypt", key_bits, size, timings)
+            note(
+                "encrypt  %4d-bit n=%-6d -> %s"
+                % (key_bits, size, profile.best_mode("encrypt", key_bits, size))
+            )
+    return profile
+
+
+def render_mode_table(profile: CalibrationProfile) -> str:
+    """Human-readable mode table for the ``repro calibrate`` CLI."""
+    lines = [
+        "%-9s %9s %8s %12s   %s"
+        % ("kind", "key_bits", "n", "chosen", "timings (ms)")
+    ]
+    for kind, key_bits, size, timings in profile.points():
+        chosen = min(timings.items(), key=lambda item: item[1])[0]
+        detail = "  ".join(
+            "%s=%.2f" % (mode, seconds * 1e3)
+            for mode, seconds in sorted(timings.items())
+        )
+        lines.append(
+            "%-9s %9d %8d %12s   %s" % (kind, key_bits, size, chosen, detail)
+        )
+    return "\n".join(lines)
+
+
+# -- persistence glue (repro.store) ------------------------------------------
+
+
+def load_profile(store: Any) -> Optional[CalibrationProfile]:
+    """The persisted profile from a state store, or None when absent."""
+    text = store.load_calibration(PROFILE_KIND)
+    if text is None:
+        return None
+    return CalibrationProfile.from_json(text)
+
+
+def save_profile(store: Any, profile: CalibrationProfile) -> None:
+    """Persist ``profile`` in the state store (replacing any previous)."""
+    store.save_calibration(PROFILE_KIND, profile.to_json())

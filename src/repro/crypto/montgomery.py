@@ -1,0 +1,135 @@
+"""Montgomery-form modular arithmetic (REDC) for the crypto kernels.
+
+Montgomery multiplication replaces the division inside ``a * b % n``
+with shifts and masks: operands are carried as residues ``aR mod n``
+for ``R = 2^k > n``, and the reduction step ``REDC(t) = t * R^{-1} mod n``
+costs three word-aligned multiplications instead of one multiplication
+plus one division.  On word-based bignum implementations this is the
+classic inner-loop win; CPython's big-int division is itself a tight C
+loop, so here the measured balance is close (see
+``docs/performance.md`` § Montgomery) — which is exactly why the
+:mod:`repro.crypto.calibration` pass *measures* the Montgomery fold
+against the builtin operator and only routes to it where it wins,
+instead of assuming.
+
+The API is a context object per modulus:
+
+* :class:`MontgomeryContext` precomputes ``R``, ``R^2 mod n`` and
+  ``n' = -n^{-1} mod R`` once per modulus (Paillier uses one ciphertext
+  modulus ``n^2`` per key, so the setup amortises over every fold).
+* :meth:`MontgomeryContext.redc` is the reduction primitive,
+  :meth:`~MontgomeryContext.mul` multiplies two Montgomery residues,
+  :meth:`~MontgomeryContext.pow` is a windowed exponentiation carried
+  entirely in Montgomery form.
+
+Every operation is bit-for-bit compatible with the ``pow``/``%``
+operators it replaces — the property suite in
+``tests/crypto/test_montgomery.py`` asserts equality exhaustively —
+so :func:`~repro.crypto.multiexp.multi_exponent` can switch domains
+per call without perturbing the serial==parallel determinism guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exceptions import ParameterError
+
+__all__ = ["MontgomeryContext"]
+
+#: Window width for :meth:`MontgomeryContext.pow` (16-entry table).
+_POW_WINDOW = 4
+
+
+class MontgomeryContext:
+    """Precomputed Montgomery constants for one odd modulus.
+
+    Attributes:
+        modulus: the (odd) modulus ``n``.
+        shift: ``k`` such that ``R = 2^k`` is the smallest byte-aligned
+            power of two above ``n``.
+        r: ``R mod n`` — the Montgomery representation of 1.
+        r2: ``R^2 mod n`` — multiplier that converts into the domain.
+    """
+
+    __slots__ = ("modulus", "shift", "mask", "r", "r2", "n_prime")
+
+    def __init__(self, modulus: int) -> None:
+        if modulus < 3:
+            raise ParameterError("Montgomery modulus must be at least 3")
+        if modulus % 2 == 0:
+            raise ParameterError("Montgomery arithmetic requires an odd modulus")
+        self.modulus = modulus
+        # byte-aligned R keeps the masks/shifts on limb boundaries
+        self.shift = (modulus.bit_length() + 7) // 8 * 8
+        r_full = 1 << self.shift
+        self.mask = r_full - 1
+        self.r = r_full % modulus
+        self.r2 = r_full * r_full % modulus
+        # n' = -n^{-1} mod R; exists because gcd(n, R) = 1 for odd n
+        self.n_prime = (-pow(modulus, -1, r_full)) & self.mask
+
+    # -- domain conversion -------------------------------------------------
+
+    def to_mont(self, value: int) -> int:
+        """Map ``value`` into the Montgomery domain (``value * R mod n``)."""
+        return self.redc((value % self.modulus) * self.r2)
+
+    def from_mont(self, mont: int) -> int:
+        """Map a Montgomery residue back to the ordinary domain."""
+        return self.redc(mont)
+
+    # -- core arithmetic ---------------------------------------------------
+
+    def redc(self, t: int) -> int:
+        """Montgomery reduction: ``t * R^{-1} mod n`` for ``t < n * R``."""
+        m = ((t & self.mask) * self.n_prime) & self.mask
+        reduced = (t + m * self.modulus) >> self.shift
+        if reduced >= self.modulus:
+            reduced -= self.modulus
+        return reduced
+
+    def mul(self, a_mont: int, b_mont: int) -> int:
+        """Product of two Montgomery residues, still in the domain."""
+        t = a_mont * b_mont
+        m = ((t & self.mask) * self.n_prime) & self.mask
+        reduced = (t + m * self.modulus) >> self.shift
+        if reduced >= self.modulus:
+            reduced -= self.modulus
+        return reduced
+
+    def one(self) -> int:
+        """The Montgomery representation of 1 (``R mod n``)."""
+        return self.r
+
+    def pow(self, base: int, exponent: int) -> int:
+        """``base ** exponent % modulus`` via a windowed Montgomery ladder.
+
+        ``base`` and the result are *ordinary* residues; the squaring
+        chain runs entirely in the Montgomery domain.
+        """
+        if exponent < 0:
+            raise ParameterError("exponent must be non-negative")
+        if exponent == 0:
+            return 1 % self.modulus
+        base_m = self.to_mont(base)
+        if exponent == 1:
+            return self.redc(base_m)
+        # 4-bit window table: base^0 .. base^15 in Montgomery form
+        table: List[int] = [self.r, base_m]
+        for _ in range(2, 1 << _POW_WINDOW):
+            table.append(self.mul(table[-1], base_m))
+        bits = exponent.bit_length()
+        windows = -(-bits // _POW_WINDOW)  # ceil
+        acc = self.r
+        for index in range(windows - 1, -1, -1):
+            if index != windows - 1:
+                for _ in range(_POW_WINDOW):
+                    acc = self.mul(acc, acc)
+            digit = (exponent >> (index * _POW_WINDOW)) & ((1 << _POW_WINDOW) - 1)
+            if digit:
+                acc = self.mul(acc, table[digit])
+        return self.redc(acc)
+
+    def __repr__(self) -> str:
+        return "MontgomeryContext(bits=%d)" % self.modulus.bit_length()

@@ -110,6 +110,22 @@ MIGRATIONS: Tuple[Tuple[int, str, Tuple[str, ...]], ...] = (
             "CREATE INDEX idx_sessions_touched ON sessions (touched_at)",
         ),
     ),
+    (
+        3,
+        "calibration profiles: cached engine mode-selection measurements",
+        (
+            # One JSON document per profile kind (see
+            # repro.crypto.calibration.PROFILE_KIND); `repro calibrate`
+            # writes it, serve/sum read it to route engine batches.
+            """
+            CREATE TABLE calibration (
+                kind       TEXT PRIMARY KEY,
+                profile    TEXT NOT NULL,
+                updated_at REAL NOT NULL
+            )
+            """,
+        ),
+    ),
 )
 
 #: The schema version this code reads and writes.

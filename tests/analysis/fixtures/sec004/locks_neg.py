@@ -33,6 +33,46 @@ class SessionRegistry:
         return self.resident_bytes
 
 
+class WarmWorkerPool:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._executor = None
+        self._broken = False
+        self._closed = False
+        self._primed_key = None
+
+    def acquire(self, key_blob):
+        with self._lock:
+            if self._executor is None:
+                self._executor = object()
+                self._primed_key = key_blob
+            return self._executor
+
+    def mark_broken(self):
+        with self._lock:
+            self._shutdown_locked()
+
+    def _shutdown_locked(self):
+        self._broken = True
+        self._executor = None
+
+    def broken(self):
+        return self._broken
+
+
+class KeyContextCache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._contexts = OrderedDict()
+
+    def get(self, key, context):
+        with self._lock:
+            stored = self._contexts.setdefault(key, context)
+            while len(self._contexts) > 8:
+                self._contexts.popitem(last=False)
+            return stored
+
+
 class Unrelated:
     """Same attribute names, undeclared class: not this rule's business."""
 

@@ -51,3 +51,35 @@ class Tracer:
 
     def record(self, name):
         self._totals[name] = self._totals.get(name, 0) + 1  # EXPECT: SEC004
+
+
+class WarmWorkerPool:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._executor = None
+        self._broken = False
+        self._closed = False
+        self._primed_key = None
+
+    def mark_broken(self):
+        self._broken = True  # EXPECT: SEC004
+
+    def close(self):
+        with self._lock:
+            self._closed = True
+        self._executor = None  # EXPECT: SEC004
+
+    def reprime(self, key_blob):
+        self._primed_key = key_blob  # EXPECT: SEC004
+
+
+class KeyContextCache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._contexts = OrderedDict()
+
+    def store(self, key, context):
+        self._contexts[key] = context  # EXPECT: SEC004
+
+    def evict(self):
+        self._contexts.popitem(last=False)  # EXPECT: SEC004

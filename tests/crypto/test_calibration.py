@@ -1,0 +1,183 @@
+"""Tests for :mod:`repro.crypto.calibration` — measured mode routing."""
+
+import json
+
+import pytest
+
+from repro.crypto.calibration import (
+    PROFILE_KIND,
+    CalibrationProfile,
+    load_profile,
+    render_mode_table,
+    run_calibration,
+    save_profile,
+)
+from repro.crypto.engine import CryptoEngine
+from repro.crypto.paillier import generate_keypair
+from repro.exceptions import ParameterError
+from repro.store.state import StateStore
+
+
+def make_profile():
+    profile = CalibrationProfile(meta={"workers": 2})
+    profile.record(
+        "weighted", 256, 200, {"serial": 0.05, "multiexp": 0.01, "parallel": 0.2}
+    )
+    profile.record(
+        "weighted", 512, 1000, {"serial": 1.0, "multiexp": 0.3, "parallel": 0.1}
+    )
+    profile.record("encrypt", 256, 200, {"serial": 0.2, "parallel": 0.4})
+    return profile
+
+
+class TestProfile:
+    def test_best_mode_at_measured_point(self):
+        profile = make_profile()
+        assert profile.best_mode("weighted", 256, 200) == "multiexp"
+        assert profile.best_mode("weighted", 512, 1000) == "parallel"
+        assert profile.best_mode("encrypt", 256, 200) == "serial"
+
+    def test_lookup_snaps_to_nearest_point_in_log_space(self):
+        profile = make_profile()
+        # 512/800 is much closer to (512, 1000) than to (256, 200)
+        assert profile.best_mode("weighted", 512, 800) == "parallel"
+        assert profile.best_mode("weighted", 300, 150) == "multiexp"
+
+    def test_unknown_kind_is_none(self):
+        assert make_profile().best_mode("nonsense", 256, 200) is None
+        assert CalibrationProfile().best_mode("weighted", 256, 200) is None
+
+    def test_record_replaces(self):
+        profile = make_profile()
+        profile.record("weighted", 256, 200, {"serial": 0.001})
+        assert profile.best_mode("weighted", 256, 200) == "serial"
+        assert len(profile) == 3
+
+    def test_record_validates(self):
+        profile = CalibrationProfile()
+        with pytest.raises(ParameterError):
+            profile.record("weighted", 0, 10, {"serial": 1.0})
+        with pytest.raises(ParameterError):
+            profile.record("weighted", 256, 10, {})
+
+    def test_points_filter(self):
+        profile = make_profile()
+        assert len(profile.points()) == 3
+        assert [p[0] for p in profile.points("encrypt")] == ["encrypt"]
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        profile = make_profile()
+        restored = CalibrationProfile.from_json(profile.to_json())
+        assert restored.points() == profile.points()
+        assert restored.meta == profile.meta
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ParameterError):
+            CalibrationProfile.from_json("not json")
+        with pytest.raises(ParameterError):
+            CalibrationProfile.from_json("[1, 2]")
+
+    def test_rejects_unknown_version(self):
+        document = json.loads(make_profile().to_json())
+        document["version"] = 99
+        with pytest.raises(ParameterError):
+            CalibrationProfile.from_json(json.dumps(document))
+
+    def test_render_mode_table_lists_every_point(self):
+        table = render_mode_table(make_profile())
+        assert "multiexp" in table and "parallel" in table
+        # header + one row per point
+        assert len(table.splitlines()) == 1 + 3
+
+
+class TestEngineRouting:
+    """The profile steers a real engine without perturbing results."""
+
+    @pytest.fixture(scope="class")
+    def keypair(self):
+        return generate_keypair(128, "calibration-routing")
+
+    def test_routes_weighted_to_recorded_winner(self, keypair):
+        public = keypair.public
+        cts = [public.encrypt_raw(i, "calib-cts-%d" % i) for i in range(8)]
+        weights = list(range(1, 9))
+        with CryptoEngine(workers=1) as baseline:
+            expected = baseline.weighted_product(
+                public.nsquare, public.n, cts, weights
+            )
+        for winner in ("serial", "multiexp", "multiexp_mont"):
+            profile = CalibrationProfile()
+            profile.record("weighted", public.bits, len(cts), {winner: 0.001})
+            with CryptoEngine(workers=1, calibration=profile) as engine:
+                assert (
+                    engine.weighted_product(public.nsquare, public.n, cts, weights)
+                    == expected
+                )
+
+    def test_parallel_choice_clamped_without_pool(self, keypair):
+        public = keypair.public
+        profile = CalibrationProfile()
+        profile.record("weighted", public.bits, 4, {"parallel": 0.001})
+        cts = [public.encrypt_raw(i, "clamp-%d" % i) for i in range(4)]
+        with CryptoEngine(workers=1, calibration=profile) as engine:
+            engine.weighted_product(public.nsquare, public.n, cts, [1, 2, 3, 4])
+            # a 1-worker engine cannot fan out: the batch ran in-process
+            assert engine.parallel_batches == 0
+            assert engine.serial_batches == 1
+
+    def test_encrypt_routing_preserves_determinism(self, keypair):
+        public = keypair.public
+        serial = CalibrationProfile()
+        serial.record("encrypt", public.bits, 6, {"serial": 0.001})
+        parallel = CalibrationProfile()
+        parallel.record("encrypt", public.bits, 6, {"parallel": 0.001})
+        plaintexts = [1, 2, 3, 4, 5, 6]
+        with CryptoEngine(workers=1, chunk_size=2, calibration=serial) as engine:
+            a = engine.encrypt_vector(public, plaintexts, "route-seed")
+        with CryptoEngine(workers=2, chunk_size=2, calibration=parallel) as engine:
+            b = engine.encrypt_vector(public, plaintexts, "route-seed")
+        assert a == b  # byte-for-byte, whatever the router picked
+
+
+class TestRunCalibration:
+    def test_tiny_run_measures_every_point(self):
+        notes = []
+        profile = run_calibration(
+            key_bits_list=[64],
+            sizes=[8],
+            workers=1,
+            rounds=1,
+            seed_label="test-calib",
+            progress=notes.append,
+        )
+        assert len(profile) == 2  # weighted + encrypt at one grid point
+        weighted = profile.timings("weighted", 64, 8)
+        assert {"serial", "multiexp", "multiexp_mont"} <= set(weighted)
+        assert "parallel" not in weighted  # workers=1: no pool measured
+        assert profile.timings("encrypt", 64, 8)
+        assert len(notes) == 2
+
+    def test_rejects_nonpositive_rounds(self):
+        with pytest.raises(ParameterError):
+            run_calibration(key_bits_list=[64], sizes=[8], rounds=0)
+
+
+class TestStorePersistence:
+    def test_save_and_load_roundtrip(self):
+        with StateStore(":memory:") as store:
+            assert load_profile(store) is None
+            profile = make_profile()
+            save_profile(store, profile)
+            restored = load_profile(store)
+            assert restored.points() == profile.points()
+            # overwrite replaces, not appends
+            profile.record("weighted", 128, 50, {"serial": 0.01})
+            save_profile(store, profile)
+            assert len(load_profile(store)) == 4
+
+    def test_persisted_kind_is_stable(self):
+        with StateStore(":memory:") as store:
+            save_profile(store, make_profile())
+            assert store.load_calibration(PROFILE_KIND) is not None

@@ -283,3 +283,153 @@ class TestThreadSafety:
             assert len(seen) == 8
             assert all(entry == seen[0] for entry in seen)
             assert len(engine._fixed_base_h) == 1
+
+
+class TestAdaptiveChunkSize:
+    def test_reference_key_size_keeps_default(self):
+        from repro.crypto.engine import chunk_size_for
+
+        assert chunk_size_for(512) == DEFAULT_CHUNK_SIZE
+
+    def test_scales_inversely_with_key_size_and_clamps(self):
+        from repro.crypto.engine import chunk_size_for
+
+        assert chunk_size_for(1024) == DEFAULT_CHUNK_SIZE // 4
+        assert chunk_size_for(256) == DEFAULT_CHUNK_SIZE * 4
+        assert chunk_size_for(16) == 4096  # upper clamp
+        assert chunk_size_for(1 << 20) == 16  # lower clamp
+        with pytest.raises(ParameterError):
+            chunk_size_for(0)
+
+    def test_spans_cover_the_vector_exactly(self, keypair):
+        # The adaptive schedule must partition any length without gaps
+        # or overlap — every plaintext encrypted exactly once.
+        from repro.crypto.engine import chunk_size_for
+
+        public, private = keypair.public, keypair.private
+        size = chunk_size_for(public.bits) + 3  # forces a ragged tail
+        plaintexts = [m % public.n for m in range(size)]
+        with CryptoEngine(workers=1) as engine:
+            cts = engine.encrypt_vector(public, plaintexts, "adaptive-cover")
+        assert len(cts) == size
+        assert [private.raw_decrypt(ct) for ct in cts] == plaintexts
+
+    def test_adaptive_schedule_is_deterministic(self, keypair):
+        public = keypair.public
+        plaintexts = list(range(30))
+        with CryptoEngine(workers=1) as a, CryptoEngine(workers=2) as b:
+            assert a.encrypt_vector(
+                public, plaintexts, "adaptive-det"
+            ) == b.encrypt_vector(public, plaintexts, "adaptive-det")
+
+
+class TestCrtPrivateKeyPath:
+    def test_crt_engine_is_byte_identical(self, keypair):
+        public, private = keypair.public, keypair.private
+        plaintexts = list(range(24))
+        with CryptoEngine(workers=1, chunk_size=8) as baseline:
+            expected = baseline.encrypt_vector(public, plaintexts, "crt-path")
+        with CryptoEngine(
+            workers=1, chunk_size=8, private_key=private
+        ) as crt_engine:
+            assert (
+                crt_engine.encrypt_vector(public, plaintexts, "crt-path")
+                == expected
+            )
+
+    def test_mismatched_private_key_falls_back(self, keypair):
+        other = generate_keypair(KEY_BITS, "engine-other-key")
+        public, private = keypair.public, keypair.private
+        with CryptoEngine(workers=1, private_key=other.private) as engine:
+            cts = engine.encrypt_vector(public, [1, 2, 3], "crt-mismatch")
+        assert [private.raw_decrypt(ct) for ct in cts] == [1, 2, 3]
+
+    def test_fixed_base_disables_crt_but_stays_correct(self, keypair):
+        public, private = keypair.public, keypair.private
+        with CryptoEngine(
+            workers=1, fixed_base=True, private_key=private
+        ) as engine:
+            cts = engine.encrypt_vector(public, [4, 5], "crt-fixed-base")
+        assert [private.raw_decrypt(ct) for ct in cts] == [4, 5]
+
+
+class TestEngineRerandomizeVector:
+    def test_preserves_plaintexts_and_changes_bytes(self, keypair):
+        public, private = keypair.public, keypair.private
+        cts = [public.encrypt_raw(m, "err-%d" % m) for m in (1, 2, 3)]
+        with CryptoEngine(workers=1) as engine:
+            fresh = engine.rerandomize_vector(public, cts, "err-seed")
+        assert all(a != b for a, b in zip(fresh, cts))
+        assert [private.raw_decrypt(c) for c in fresh] == [1, 2, 3]
+
+    def test_pooled_obfuscators_are_used(self, keypair):
+        from repro.crypto.paillier import RandomnessPool
+
+        public, private = keypair.public, keypair.private
+        pool = RandomnessPool(public, "engine-rrv-pool")
+        pool.precompute(3)
+        cts = [public.encrypt_raw(m, "errp-%d" % m) for m in (6, 7, 8)]
+        with CryptoEngine(workers=1) as engine:
+            fresh = engine.rerandomize_vector(public, cts, pool=pool)
+        assert [private.raw_decrypt(c) for c in fresh] == [6, 7, 8]
+        assert len(pool) == 0
+
+    def test_crt_private_key_matches_public_path(self, keypair):
+        public, private = keypair.public, keypair.private
+        cts = [public.encrypt_raw(m, "errc-%d" % m) for m in (9, 10)]
+        with CryptoEngine(workers=1) as public_engine:
+            expected = public_engine.rerandomize_vector(public, cts, "errc")
+        with CryptoEngine(workers=1, private_key=private) as crt_engine:
+            assert crt_engine.rerandomize_vector(public, cts, "errc") == expected
+
+    def test_rejects_non_paillier_key(self):
+        with CryptoEngine(workers=1) as engine:
+            with pytest.raises(ParameterError):
+                engine.rerandomize_vector(object(), [1])
+
+    def test_empty_vector(self, keypair):
+        with CryptoEngine(workers=1) as engine:
+            assert engine.rerandomize_vector(keypair.public, []) == ()
+
+
+class TestPackedTaskCodec:
+    def test_frames_roundtrip(self):
+        from repro.crypto.engine import _pack_frames, _unpack_frames
+
+        frames = [b"", b"x", b"frame-two", b"\x00" * 300]
+        assert _unpack_frames(_pack_frames(*frames)) == frames
+
+    def test_truncated_frames_rejected(self):
+        from repro.crypto.engine import _pack_frames, _unpack_frames
+
+        blob = _pack_frames(b"abc", b"def")
+        with pytest.raises(ParameterError):
+            _unpack_frames(blob[:-1])
+        with pytest.raises(ParameterError):
+            _unpack_frames(blob + b"\x00\x01")
+
+    def test_unknown_key_blob_kind_rejected(self):
+        from repro.crypto.engine import _context_from_blob
+
+        with pytest.raises(ParameterError):
+            _context_from_blob(b"\x7fgarbage")
+
+    def test_key_context_cache_is_bounded_lru(self, keypair):
+        from repro.crypto.engine import KeyContextCache, _encrypt_key_blob
+
+        cache = KeyContextCache(capacity=2)
+        blobs = [
+            _encrypt_key_blob(keypair.public.n, None, keypair.public.bits, w)
+            for w in (2, 3, 4)
+        ]
+        for blob in blobs:
+            cache.get(blob)
+        assert len(cache) == 2
+        # oldest entry evicted; re-fetching rebuilds it
+        assert cache.get(blobs[0]).public.n == keypair.public.n
+
+    def test_cache_rejects_nonpositive_capacity(self):
+        from repro.crypto.engine import KeyContextCache
+
+        with pytest.raises(ParameterError):
+            KeyContextCache(capacity=0)

@@ -1,0 +1,129 @@
+"""Property tests for :mod:`repro.crypto.montgomery`.
+
+The whole contract of the Montgomery context is bit-for-bit agreement
+with the ``pow``/``%`` operators it replaces: the calibrated engine
+switches a fold into the Montgomery domain purely on measured speed, so
+any numeric divergence would silently break the serial==parallel
+determinism guarantee.  These suites drive REDC, domain round-trips,
+multiplication, and windowed exponentiation against the builtins across
+random odd moduli.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.montgomery import MontgomeryContext
+from repro.crypto.multiexp import multi_exponent
+from repro.exceptions import ParameterError
+
+# Odd moduli spanning sub-byte to multi-limb sizes; bit-for-bit equality
+# at these sizes implies it at 1024 bits (same code path, longer ints).
+odd_moduli = st.integers(3, 1 << 96).map(lambda v: v | 1)
+
+
+class TestContextInvariants:
+    @given(odd_moduli)
+    @settings(max_examples=100, deadline=None)
+    def test_constants(self, modulus):
+        ctx = MontgomeryContext(modulus)
+        r_full = 1 << ctx.shift
+        assert r_full > modulus
+        assert ctx.shift % 8 == 0  # byte-aligned R
+        assert ctx.r == r_full % modulus
+        assert ctx.r2 == r_full * r_full % modulus
+        # n * n' == -1 mod R is the REDC correctness condition
+        assert (modulus * ctx.n_prime) & ctx.mask == ctx.mask
+
+    def test_rejects_even_modulus(self):
+        with pytest.raises(ParameterError):
+            MontgomeryContext(10)
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(ParameterError):
+            MontgomeryContext(1)
+
+
+class TestDomainConversion:
+    @given(st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip_is_identity(self, data):
+        modulus = data.draw(odd_moduli)
+        ctx = MontgomeryContext(modulus)
+        value = data.draw(st.integers(0, modulus - 1))
+        assert ctx.from_mont(ctx.to_mont(value)) == value
+
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_redc_is_division_by_r(self, data):
+        modulus = data.draw(odd_moduli)
+        ctx = MontgomeryContext(modulus)
+        # REDC(t) == t * R^-1 mod n for any t < n * R
+        t = data.draw(st.integers(0, modulus * (1 << ctx.shift) - 1))
+        r_inv = pow(1 << ctx.shift, -1, modulus)
+        assert ctx.redc(t) == t * r_inv % modulus
+
+    @given(odd_moduli)
+    @settings(max_examples=50, deadline=None)
+    def test_one_is_r(self, modulus):
+        ctx = MontgomeryContext(modulus)
+        assert ctx.one() == ctx.to_mont(1)
+        assert ctx.from_mont(ctx.one()) == 1 % modulus
+
+
+class TestMul:
+    @given(st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_modmul(self, data):
+        modulus = data.draw(odd_moduli)
+        ctx = MontgomeryContext(modulus)
+        a = data.draw(st.integers(0, modulus - 1))
+        b = data.draw(st.integers(0, modulus - 1))
+        product = ctx.mul(ctx.to_mont(a), ctx.to_mont(b))
+        assert ctx.from_mont(product) == a * b % modulus
+
+
+class TestPow:
+    @given(st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_builtin_pow(self, data):
+        modulus = data.draw(odd_moduli)
+        ctx = MontgomeryContext(modulus)
+        base = data.draw(st.integers(0, modulus - 1))
+        # cover zero, sub-window, and multi-window exponents
+        exponent = data.draw(st.integers(0, 1 << 80))
+        assert ctx.pow(base, exponent) == pow(base, exponent, modulus)
+
+    @given(odd_moduli)
+    @settings(max_examples=50, deadline=None)
+    def test_edge_exponents(self, modulus):
+        ctx = MontgomeryContext(modulus)
+        assert ctx.pow(2, 0) == 1 % modulus
+        assert ctx.pow(2, 1) == 2 % modulus
+        assert ctx.pow(0, 5) == 0
+
+    def test_rejects_negative_exponent(self):
+        with pytest.raises(ParameterError):
+            MontgomeryContext(17).pow(2, -1)
+
+
+class TestMultiexpIntegration:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_montgomery_fold_matches_plain(self, data):
+        modulus = data.draw(odd_moduli.filter(lambda m: m >= 5))
+        count = data.draw(st.integers(0, 16))
+        bases = data.draw(
+            st.lists(st.integers(0, modulus - 1), min_size=count, max_size=count)
+        )
+        exponents = data.draw(
+            st.lists(st.integers(0, 1 << 40), min_size=count, max_size=count)
+        )
+        plain = multi_exponent(bases, exponents, modulus)
+        assert multi_exponent(bases, exponents, modulus, montgomery=True) == plain
+        ctx = MontgomeryContext(modulus)
+        assert multi_exponent(bases, exponents, modulus, montgomery=ctx) == plain
+
+    def test_context_modulus_mismatch_rejected(self):
+        ctx = MontgomeryContext(17)
+        with pytest.raises(ParameterError):
+            multi_exponent([2], [3], 19, montgomery=ctx)

@@ -463,3 +463,168 @@ class TestRandomnessPoolFixedBase:
         pool.precompute(3)
         c = EncryptedNumber.encrypt(keypair.public, 7, pool=pool)
         assert c.decrypt(keypair.private) == 7
+
+
+class TestCrtEncryption:
+    """CRT-split encryption: half-width exponentiations, identical bytes."""
+
+    def test_obfuscator_from_r_matches_full_pow(self, keypair):
+        pk, sk = keypair.public, keypair.private
+        rng = DeterministicRandom("crt-obf")
+        for _ in range(10):
+            r = rng.randrange(1, pk.n)
+            if __import__("math").gcd(r, pk.n) != 1:
+                continue
+            assert sk.obfuscator_from_r(r) == pow(r, pk.n, pk.nsquare)
+
+    def test_encrypt_raw_crt_is_byte_identical(self, keypair):
+        pk, sk = keypair.public, keypair.private
+        for m in (0, 1, 12345, pk.n - 1):
+            seed = "crt-enc-%d" % m
+            assert sk.encrypt_raw_crt(m, seed) == pk.encrypt_raw(m, seed)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**64), st.integers())
+    def test_crt_roundtrip_property(self, keypair, m, seed):
+        pk, sk = keypair.public, keypair.private
+        plaintext = m % pk.n
+        ciphertext = sk.encrypt_raw_crt(plaintext, DeterministicRandom(seed))
+        assert ciphertext == pk.encrypt_raw(plaintext, DeterministicRandom(seed))
+        assert sk.raw_decrypt(ciphertext) == plaintext
+
+
+class TestTakeMany:
+    def test_matches_sequential_takes(self, keypair):
+        a = RandomnessPool(keypair.public, "many-vs-take")
+        b = RandomnessPool(keypair.public, "many-vs-take")
+        a.precompute(6)
+        b.precompute(6)
+        assert a.take_many(6) == [b.take() for _ in range(6)]
+
+    def test_shortfall_counts_misses(self, keypair):
+        pool = RandomnessPool(keypair.public, "many-short")
+        pool.precompute(3)
+        values = pool.take_many(5)
+        assert len(values) == 5
+        assert pool.misses == 2
+        assert len(pool) == 0
+        # every value is a valid obfuscator: E(0) built from it decrypts to 0
+        pk, sk = keypair.public, keypair.private
+        for obf in values:
+            assert sk.raw_decrypt(pk.raw_encrypt(0, obf)) == 0
+
+    def test_zero_and_negative(self, keypair):
+        pool = RandomnessPool(keypair.public, "many-edge")
+        assert pool.take_many(0) == []
+        with pytest.raises(ValueError):
+            pool.take_many(-1)
+
+
+class TestRefillDoesNotBlockConsumers:
+    """Regression: generate-then-swap — the pool lock must be free while
+    a refill runs its modular exponentiations."""
+
+    def test_lock_is_free_during_refill_pow(self, keypair, monkeypatch):
+        import builtins
+        import threading
+
+        pool = RandomnessPool(keypair.public, "refill-block")
+        real_pow = builtins.pow
+        in_pow = threading.Event()
+        proceed = threading.Event()
+        refill_thread_id = []
+
+        def instrumented_pow(*args):
+            if (
+                len(args) == 3
+                and args[2] == keypair.public.nsquare
+                and threading.get_ident() in refill_thread_id
+            ):
+                in_pow.set()
+                assert proceed.wait(timeout=10)
+            return real_pow(*args)
+
+        monkeypatch.setattr(builtins, "pow", instrumented_pow)
+        refill_thread_id.append(None)  # placeholder filled in by the thread
+
+        def run():
+            refill_thread_id[0] = threading.get_ident()
+            pool.precompute(1)
+
+        refiller = threading.Thread(target=run)
+        refiller.start()
+        try:
+            assert in_pow.wait(timeout=10), "refill never reached its pow"
+            # The refill is mid-exponentiation.  Under the old
+            # compute-under-lock design this acquire would block until
+            # the pow finished; generate-then-swap keeps it free.
+            acquired = pool._lock.acquire(timeout=1)
+            assert acquired, "pool lock held during refill exponentiation"
+            pool._lock.release()
+        finally:
+            proceed.set()
+            refiller.join(timeout=10)
+        assert not refiller.is_alive()
+        assert len(pool) == 1
+
+    def test_takes_complete_while_refill_hammers(self, keypair):
+        import threading
+
+        pool = RandomnessPool(keypair.public, "refill-hammer")
+        stop = threading.Event()
+        errors = []
+
+        def refill():
+            try:
+                while not stop.is_set():
+                    pool.precompute(RandomnessPool.REFILL_BATCH)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        refiller = threading.Thread(target=refill)
+        refiller.start()
+        try:
+            pk, sk = keypair.public, keypair.private
+            for _ in range(50):
+                obf = pool.take()
+                assert sk.raw_decrypt(pk.raw_encrypt(0, obf)) == 0
+        finally:
+            stop.set()
+            refiller.join(timeout=30)
+        assert not errors
+        assert not refiller.is_alive()
+        # accounting stays exact under the race: everything ever pooled
+        # was either taken or is still pooled
+        assert pool.generated + pool.misses >= 50
+
+
+class TestSchemeRerandomizeVector:
+    def test_base_path_preserves_plaintexts(self, keypair):
+        scheme = PaillierScheme()
+        pk, sk = keypair.public, keypair.private
+        cts = [pk.encrypt_raw(m, "rrv-%d" % m) for m in (1, 2, 3)]
+        fresh = scheme.rerandomize_vector(pk, cts, "rrv-seed")
+        assert len(fresh) == 3
+        assert all(a != b for a, b in zip(fresh, cts))
+        assert [sk.raw_decrypt(c) for c in fresh] == [1, 2, 3]
+
+    def test_pooled_path_drains_the_pool(self, keypair):
+        pk, sk = keypair.public, keypair.private
+        pool = RandomnessPool(pk, "rrv-pool")
+        pool.precompute(4)
+        scheme = PaillierScheme(pool=pool)
+        cts = [pk.encrypt_raw(m, "rrvp-%d" % m) for m in (7, 8)]
+        fresh = scheme.rerandomize_vector(pk, cts)
+        assert [sk.raw_decrypt(c) for c in fresh] == [7, 8]
+        assert len(pool) == 2  # two obfuscators drained
+        assert pool.misses == 0
+
+    def test_mismatched_pool_is_ignored(self, keypair, other_keypair):
+        pool = RandomnessPool(other_keypair.public, "rrv-wrong")
+        pool.precompute(2)
+        scheme = PaillierScheme(pool=pool)
+        pk, sk = keypair.public, keypair.private
+        cts = [pk.encrypt_raw(5, "rrv-mismatch")]
+        fresh = scheme.rerandomize_vector(pk, cts, "rrv-mismatch-2")
+        assert sk.raw_decrypt(fresh[0]) == 5
+        assert len(pool) == 2  # untouched: it belongs to another key

@@ -148,3 +148,26 @@ def test_migration_failure_leaves_resumable_prefix(tmp_path):
         assert schema_version(conn) == SCHEMA_VERSION
     finally:
         conn.close()
+
+
+def test_v2_store_upgrades_to_v3_and_gains_calibration(tmp_path):
+    """A store from the pre-calibration release opens and gains the table."""
+    path = str(tmp_path / "v2.sqlite")
+    conn = open_store_db(path, migrations=MIGRATIONS[:2])
+    assert schema_version(conn) == 2
+    with pytest.raises(sqlite3.OperationalError):
+        conn.execute("SELECT * FROM calibration")
+    conn.close()
+
+    store = StateStore(path)
+    try:
+        assert store.load_calibration("engine-mode-profile") is None
+        store.save_calibration("engine-mode-profile", "{}")
+        assert store.load_calibration("engine-mode-profile") == "{}"
+    finally:
+        store.close()
+    conn = sqlite3.connect(path)
+    try:
+        assert schema_version(conn) == SCHEMA_VERSION
+    finally:
+        conn.close()
