@@ -144,7 +144,10 @@ class AnalysisConfig:
         ),
         LockGuard("KeyContextCache", "_lock", frozenset({"_contexts"})),
         LockGuard("SpfeServer", "_active_lock", frozenset({"_active"})),
-        LockGuard("SpfeServer", "_budget_lock", frozenset({"_in_flight"})),
+        # the backend-neutral accounting core shared by both server
+        # front-ends (threads and asyncio)
+        LockGuard("ServerAccounting", "_budget_lock", frozenset({"_in_flight"})),
+        LockGuard("ServerAccounting", "_peak_lock", frozenset({"_active_peak"})),
         # the durable-state tier: one SQLite connection behind one lock,
         # and the supervisor's child handle + restart accounting
         LockGuard("StateStore", "_lock", frozenset({"_conn"})),

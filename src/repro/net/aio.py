@@ -1,0 +1,651 @@
+"""Asyncio connection front-end for the selected-sum server.
+
+:class:`AsyncSpfeServer` is the event-loop sibling of the
+thread-per-connection :class:`~repro.net.server.SpfeServer`.  The
+ROADMAP's north star is serving heavy traffic from very large user
+populations; a thread per connection caps concurrent sessions at the
+thread budget long before the CPU is busy, while an event loop holds
+thousands of mostly-idle connections (slow senders, clients sleeping
+between BUSY retries, resumable sessions trickling chunks) at the cost
+of a file descriptor each.
+
+The split of responsibilities:
+
+* **this module** owns sockets and concurrency: ``asyncio.start_server``
+  accepts, per-read deadlines are ``asyncio.wait_for`` budgets, BUSY
+  shedding and graceful drain are coroutines;
+* the **protocol layer is unchanged**:
+  :meth:`~repro.spfe.session.ServerSession.receive_bytes` is a pure
+  byte-in/byte-out state machine with no I/O of its own, so the same
+  session object serves both front-ends (the loop-safety audit note
+  lives on the class);
+* **CPU-heavy folds** (modular exponentiation over ciphertext chunks)
+  run through ``loop.run_in_executor`` on a bounded thread pool, so
+  bignum math never stalls the event loop — and an installed
+  :class:`~repro.crypto.engine.CryptoEngine` still routes them onto its
+  worker processes;
+* **accounting** is the shared, backend-neutral
+  :class:`~repro.net.core.ServerAccounting` — admission budget, outcome
+  classification, gauges, and the drain trigger are byte-for-byte the
+  semantics of the threaded front-end, which is what makes
+  ``serve --backend {threads,asyncio}`` an operational knob rather than
+  a behaviour change.
+
+The public lifecycle is deliberately synchronous — ``start()``,
+``stop()``, ``wait()``, ``initiate_drain()``, context manager — with
+the event loop confined to one daemon thread.  Callers, tests, and
+``repro.cli`` drive either backend through the identical surface.
+
+Admission mirrors the threaded design: an ``asyncio.Semaphore`` of
+``max_sessions`` bounds concurrent serving, a queued-waiter count
+bounded by ``accept_backlog`` models the accept queue, and anything
+beyond (or past the ``max_queries`` budget) is shed with a typed BUSY
+frame under the same small send budget.  Drain stops the listener,
+sheds the queue, lets in-flight sessions finish under the drain
+deadline, then force-cancels stragglers (accounted as drops).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import signal
+import socket
+import threading
+import time
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.datastore.database import ServerDatabase
+from repro.exceptions import (
+    ParameterError,
+    TransportError,
+    TransportTimeout,
+)
+from repro.net import codec
+from repro.net.core import (
+    DEFAULT_DRAIN_DEADLINE_S,
+    _POLL_S,
+    _SHED_SEND_BUDGET_S,
+    ServerAccounting,
+    ServerStats,
+)
+from repro.net.transport import DEFAULT_RECV_BYTES
+from repro.obs.http import StatsEndpoint
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.spfe.session import ServerSession, SessionRegistry
+from repro.spfe.validation import ServerPolicy
+from repro.store.state import StateStore
+
+__all__ = ["AsyncSpfeServer"]
+
+#: how long start() waits for the loop thread to come up before giving up
+_BOOT_TIMEOUT_S = 10.0
+
+
+class AsyncSpfeServer:
+    """Event-loop selected-sum server; same surface as ``SpfeServer``.
+
+    Constructor arguments, counters, admission semantics, and the
+    lifecycle API match :class:`~repro.net.server.SpfeServer` exactly —
+    see that class for the parameter reference.  The differences are
+    operational: concurrency is ``max_sessions`` coroutine slots rather
+    than worker threads, and protocol folds run on an internal
+    ``ThreadPoolExecutor`` (one thread per slot) via
+    ``loop.run_in_executor``.
+    """
+
+    def __init__(
+        self,
+        database: ServerDatabase,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        policy: Optional[ServerPolicy] = None,
+        registry: Optional[SessionRegistry] = None,
+        store: Optional[StateStore] = None,
+        max_sessions: int = 4,
+        accept_backlog: int = 8,
+        read_timeout: Optional[float] = 30.0,
+        connection_deadline_s: Optional[float] = None,
+        max_queries: int = 0,
+        busy_retry_ms: int = 250,
+        engine: Optional[object] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        stats_port: Optional[int] = None,
+        log: Optional[Callable[[str], object]] = None,
+    ) -> None:
+        if max_sessions < 1:
+            raise ParameterError("max_sessions must be positive")
+        if accept_backlog < 1:
+            raise ParameterError("accept_backlog must be positive")
+        if max_queries < 0:
+            raise ParameterError("max_queries must be non-negative")
+        if stats_port is not None and stats_port < 0:
+            raise ParameterError("stats_port must be non-negative")
+        self.database = database
+        self.host = host
+        self.policy = policy if policy is not None else ServerPolicy()
+        self.store = store if registry is None else None
+        self.registry = (
+            registry
+            if registry is not None
+            else SessionRegistry.from_policy(self.policy, store=self.store)
+        )
+        self.max_sessions = max_sessions
+        self.accept_backlog = accept_backlog
+        self.read_timeout = read_timeout
+        self.connection_deadline_s = connection_deadline_s
+        self.max_queries = max_queries
+        self.busy_retry_ms = busy_retry_ms
+        self.engine = engine
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = ServerStats(self.metrics)
+        self.tracer = Tracer(registry=self.metrics)
+        self.stats_port = stats_port
+        self._stats_endpoint: Optional[StatsEndpoint] = None
+        self._log = log
+        self._core = ServerAccounting(
+            self.stats,
+            metrics=self.metrics,
+            max_queries=max_queries,
+            backend="asyncio",
+            note=self._note,
+        )
+        self._requested_port = port
+        self._listener: Optional[socket.socket] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._executor: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        #: loop-owned state, created inside _main on the loop thread
+        self._aio_drain: Optional[asyncio.Event] = None
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._tasks: "Set[asyncio.Task]" = set()
+        self._queued = 0
+        self._ready = threading.Event()
+        self._boot_error: Optional[BaseException] = None
+        self._drain = threading.Event()
+        self._stopped = threading.Event()
+        self._loop_done = threading.Event()
+        self._finalize_lock = threading.Lock()
+        self._finalized = False
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "AsyncSpfeServer":
+        """Bind the listener, then bring the event loop up on a thread.
+
+        The socket is bound synchronously so :attr:`port` is valid the
+        moment ``start`` returns; the loop thread only adopts it.  Like
+        the threaded front-end, startup is transactional: any failure
+        (stats port taken, loop boot error) closes whatever was bound
+        and resets state so a corrected retry can start again.
+        """
+        if self._started:
+            raise ParameterError("server already started")
+        self._started = True
+        try:
+            self._listener = socket.create_server(
+                (self.host, self._requested_port), backlog=self.accept_backlog
+            )
+            self._listener.setblocking(False)
+            if self.stats_port is not None:
+                self._stats_endpoint = StatsEndpoint(
+                    self.metrics,
+                    host=self.host,
+                    port=self.stats_port,
+                    health=self._health,
+                ).start()
+            self._loop = asyncio.new_event_loop()
+            self._loop_thread = threading.Thread(
+                target=self._run_loop, name="spfe-aio-loop", daemon=True
+            )
+            self._loop_thread.start()
+            self._ready.wait(timeout=_BOOT_TIMEOUT_S)
+            if self._boot_error is not None:
+                raise self._boot_error
+            if not self._ready.is_set():
+                raise TransportError("event loop failed to come up")
+        except BaseException:
+            self._abort_start()
+            raise
+        return self
+
+    def _abort_start(self) -> None:
+        """Unwind a partially started server so ``start`` can be retried."""
+        self._drain.set()
+        if self._loop_thread is not None:
+            self._signal_loop_drain()
+            self._loop_thread.join(timeout=5.0)
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._stats_endpoint is not None:
+            self._stats_endpoint.close()
+        self._listener = None
+        self._stats_endpoint = None
+        self._loop = None
+        self._loop_thread = None
+        self._boot_error = None
+        self._ready = threading.Event()
+        self._loop_done = threading.Event()
+        self._drain = threading.Event()
+        self._started = False
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves an ephemeral bind)."""
+        if self._listener is None:
+            raise ParameterError("server not started")
+        return self._listener.getsockname()[1]
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) pair."""
+        if self._listener is None:
+            raise ParameterError("server not started")
+        return self._listener.getsockname()[:2]
+
+    @property
+    def stats_address(self) -> Tuple[str, int]:
+        """The stats endpoint's bound (host, port); needs ``stats_port``."""
+        if self._stats_endpoint is None:
+            raise ParameterError("stats endpoint not enabled (pass stats_port)")
+        return self._stats_endpoint.address
+
+    @property
+    def draining(self) -> bool:
+        """True once drain has been initiated."""
+        return self._drain.is_set()
+
+    @property
+    def stopped(self) -> bool:
+        """True once the loop has exited and sockets are closed."""
+        return self._stopped.is_set()
+
+    def initiate_drain(self) -> None:
+        """Begin graceful shutdown (non-blocking, signal-handler safe).
+
+        Stops accepting, sheds queued connections with BUSY, and lets
+        in-flight sessions run to completion.  Call :meth:`stop` or
+        :meth:`wait` to block until the drain finishes.
+        """
+        self._drain.set()
+        self._signal_loop_drain()
+
+    def _signal_loop_drain(self) -> None:
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(self._set_aio_drain)
+        except RuntimeError:
+            pass  # the loop closed between the check and the call
+
+    def _set_aio_drain(self) -> None:
+        # runs on the loop thread
+        if self._aio_drain is not None:
+            self._aio_drain.set()
+
+    def install_signal_handlers(self) -> Callable[[], None]:
+        """Wire SIGINT/SIGTERM to :meth:`initiate_drain`.
+
+        Returns a zero-argument callable restoring the previous
+        handlers.  Must run on the main thread (a Python constraint).
+        """
+        previous = {}
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(
+                signum, lambda _sig, _frame: self.initiate_drain()
+            )
+        def restore() -> None:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+        return restore
+
+    def wait(self, drain_deadline_s: Optional[float] = None) -> None:
+        """Block until drain is initiated, then finish the shutdown.
+
+        The wait loop wakes periodically so signal handlers installed by
+        :meth:`install_signal_handlers` get a chance to run on the main
+        thread.
+        """
+        while not self._drain.wait(_POLL_S):
+            pass
+        self._finalize(drain_deadline_s)
+
+    def stop(self, drain_deadline_s: Optional[float] = None) -> None:
+        """Initiate drain and block until the server is fully stopped."""
+        self.initiate_drain()
+        self._finalize(drain_deadline_s)
+
+    def __enter__(self) -> "AsyncSpfeServer":
+        """Context-manager entry: start the server."""
+        return self.start() if not self._started else self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: drain and stop."""
+        self.stop()
+
+    def _health(self) -> Dict[str, Any]:
+        """The ``/healthz`` document: status plus liveness details.
+
+        ``workers_alive`` reports the loop thread (0 or 1): the asyncio
+        front-end has no worker pool whose attrition could be watched,
+        so a live event loop *is* the liveness signal.
+        """
+        if self._stopped.is_set():
+            status = "stopped"
+        elif self._drain.is_set():
+            status = "draining"
+        else:
+            status = "ok"
+        loop_alive = (
+            self._loop_thread is not None and self._loop_thread.is_alive()
+        )
+        return {
+            "status": status,
+            "in_flight_sessions": self._core.in_flight(),
+            "workers_alive": 1 if loop_alive else 0,
+            "max_sessions": self.max_sessions,
+        }
+
+    def _note(self, message: str) -> None:
+        if self._log is not None:
+            self._log(message + "\n")
+
+    def _finalize(self, drain_deadline_s: Optional[float]) -> None:
+        """Wait out the drain deadline, then force-cancel stragglers."""
+        with self._finalize_lock:
+            if self._finalized:
+                return
+            deadline = (
+                drain_deadline_s
+                if drain_deadline_s is not None
+                else DEFAULT_DRAIN_DEADLINE_S
+            )
+            if self._loop_thread is not None:
+                if not self._loop_done.wait(timeout=max(deadline, 1.0)):
+                    # Drain deadline exceeded: cancel the remaining
+                    # session tasks; each accounts itself as a drop.
+                    loop = self._loop
+                    if loop is not None and not loop.is_closed():
+                        try:
+                            loop.call_soon_threadsafe(self._cancel_stragglers)
+                        except RuntimeError:
+                            pass
+                    self._loop_done.wait(timeout=5.0)
+                self._loop_thread.join(timeout=5.0)
+            if self._listener is not None:
+                try:
+                    self._listener.close()
+                except OSError:
+                    pass
+            if self.engine is not None:
+                # Last step of the drain: no session can still be folding
+                # once the loop has exited, so the kernel pool can be
+                # torn down without cutting work short.
+                self.engine.close()
+            if self._stats_endpoint is not None:
+                self._stats_endpoint.close()
+            self._finalized = True
+            self._stopped.set()
+
+    def _cancel_stragglers(self) -> None:
+        # runs on the loop thread
+        for task in list(self._tasks):
+            task.cancel()
+
+    # -- event loop ---------------------------------------------------------
+
+    def _run_loop(self) -> None:
+        assert self._loop is not None
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._main())
+        # seclint: disable=SEC005 -- boot errors must surface to start()
+        except BaseException as exc:
+            if self._boot_error is None:
+                self._boot_error = exc
+        finally:
+            self._loop.close()
+            self._ready.set()  # unblock start() even on early death
+            self._loop_done.set()
+
+    async def _main(self) -> None:
+        self._aio_drain = asyncio.Event()
+        self._slots = asyncio.Semaphore(self.max_sessions)
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.max_sessions, thread_name_prefix="spfe-aio-fold"
+        )
+        try:
+            server = await asyncio.start_server(
+                self._handle_connection, sock=self._listener
+            )
+        except OSError as exc:
+            self._boot_error = exc
+            self._ready.set()
+            self._executor.shutdown(wait=False)
+            return
+        if self._drain.is_set():
+            self._aio_drain.set()  # drain won the boot race
+        self._ready.set()
+        await self._aio_drain.wait()
+        # Drain: refuse new connections at the TCP level.  Handler tasks
+        # spawned before the close shed themselves on the drain event;
+        # in-flight sessions run to completion (or are force-cancelled
+        # by _finalize at the drain deadline and account as drops).
+        server.close()
+        await server.wait_closed()
+        while self._tasks:
+            await asyncio.wait(list(self._tasks))
+        # Folds are bounded by the session tasks just awaited, so there
+        # is no queued work to wait for; don't block the loop exit.
+        self._executor.shutdown(wait=False)
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        peer = writer.get_extra_info("peername") or ("?", 0)
+        self.stats.add("connections_accepted")
+        assert self._aio_drain is not None and self._slots is not None
+        if self._aio_drain.is_set():
+            await self._shed(reader, writer, peer, "draining")
+            return
+        if not self._core.admit_query_budget():
+            await self._shed(reader, writer, peer, "query budget exhausted")
+            return
+        # The queued-waiter bound plays the accept queue's role in the
+        # threaded front-end: at most accept_backlog connections may sit
+        # waiting for a session slot; beyond that, shed.
+        if self._queued >= self.accept_backlog:
+            self._core.release_query_budget()
+            await self._shed(reader, writer, peer)
+            return
+        self._queued += 1
+        try:
+            admitted = await self._acquire_slot()
+        except asyncio.CancelledError:
+            self._core.release_query_budget()
+            self._close_writer(writer)
+            return
+        finally:
+            self._queued -= 1
+        if not admitted:
+            self._core.release_query_budget()
+            await self._shed(reader, writer, peer, "draining")
+            return
+        self._core.session_admitted()
+        served = False
+        try:
+            served = await self._serve_connection(reader, writer, peer)
+        # seclint: disable=SEC005 -- handler tasks must survive session bugs
+        except Exception as exc:
+            # A bug in session handling must cost one connection, never
+            # the server: mirror the threaded worker's catch-all so the
+            # outcome invariant survives injected handler bugs too.
+            self.stats.add("sessions_dropped")
+            self.stats.add("sessions_errored_internal")
+            self._note("dropped %s: internal error: %r" % (peer, exc))
+            self._close_writer(writer)
+        finally:
+            self._slots.release()
+            if self._core.retire_session(served):
+                self.initiate_drain()
+
+    async def _acquire_slot(self) -> bool:
+        """Wait for a session slot; False when drain wins the race."""
+        assert self._aio_drain is not None and self._slots is not None
+        acquire = asyncio.ensure_future(self._slots.acquire())
+        drain = asyncio.ensure_future(self._aio_drain.wait())
+        try:
+            await asyncio.wait(
+                {acquire, drain}, return_when=asyncio.FIRST_COMPLETED
+            )
+        except asyncio.CancelledError:
+            acquire.cancel()
+            drain.cancel()
+            await asyncio.gather(acquire, drain, return_exceptions=True)
+            if acquire.done() and not acquire.cancelled():
+                self._slots.release()  # acquired in the cancellation race
+            raise
+        drain_won = drain.done() and not acquire.done()
+        acquire.cancel()
+        drain.cancel()
+        await asyncio.gather(acquire, drain, return_exceptions=True)
+        if acquire.done() and not acquire.cancelled():
+            if drain_won:
+                # acquired between the wait and the cancel: give it back
+                self._slots.release()
+                return False
+            return True
+        return False
+
+    async def _serve_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        peer: Tuple,
+    ) -> bool:
+        """Run one session over the stream pair; True when served.
+
+        Structurally the twin of the threaded ``_serve_connection``:
+        reads are deadline-bounded (per-read timeout under the optional
+        total connection budget), replies go back inline, and every exit
+        path funnels through the shared outcome classification.  The
+        fold — :meth:`ServerSession.receive_bytes` — runs on the
+        executor so a large-key modular exponentiation never freezes
+        the other connections on the loop.
+        """
+        session = ServerSession(
+            self.database,
+            registry=self.registry,
+            policy=self.policy,
+            engine=self.engine,
+            tracer=self.tracer,
+        )
+        loop = asyncio.get_running_loop()
+        self._core.connection_attached()
+        started = time.monotonic()
+        outcome = "detached"
+        detail = ""
+        served = False
+        try:
+            while True:
+                timeout = self._core.budgeted_timeout(
+                    started, self.read_timeout, self.connection_deadline_s
+                )
+                try:
+                    data = await asyncio.wait_for(
+                        reader.read(DEFAULT_RECV_BYTES), timeout
+                    )
+                except asyncio.TimeoutError as exc:
+                    raise TransportTimeout(
+                        "no data within %.1fs" % (timeout or 0.0)
+                    ) from exc
+                except OSError as exc:
+                    raise TransportError("recv failed: %s" % exc) from exc
+                if not data:
+                    break  # peer closed; a resumable client will reconnect
+                reply = await loop.run_in_executor(
+                    self._executor, session.receive_bytes, data
+                )
+                if reply:
+                    await self._send_reply(writer, reply)
+                if session.errored or session.finished:
+                    break
+        except TransportError as exc:
+            outcome = "dropped"
+            detail = str(exc)
+        except asyncio.CancelledError:
+            # force-cancelled at the drain deadline: the peer never got
+            # its RESULT, so this is a drop (not re-raised — the task
+            # must finish its accounting and let _main's wait complete)
+            outcome = "dropped"
+            detail = "force-cancelled at the drain deadline"
+        # seclint: disable=SEC005 -- internal bugs must still account the session
+        except Exception as exc:
+            outcome = "internal"
+            detail = repr(exc)
+        finally:
+            self._close_writer(writer)
+            self._core.connection_detached()
+            served = self._core.account_outcome(session, outcome, peer, detail)
+        return served
+
+    async def _send_reply(
+        self, writer: asyncio.StreamWriter, reply: bytes
+    ) -> None:
+        """Write one protocol reply; failures surface as TransportError."""
+        try:
+            writer.write(reply)
+            await writer.drain()
+        except OSError as exc:
+            raise TransportError("send failed: %s" % exc) from exc
+
+    async def _shed(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        peer: Tuple,
+        reason: str = "pool and backlog full",
+    ) -> None:
+        """Refuse a connection with a typed BUSY frame (best effort).
+
+        The send runs under the same small budget as the threaded shed
+        thread, so a peer that never reads cannot hold the handler task
+        (and its memory) hostage.  Like the threaded `_send_busy`, the
+        close is preceded by a half-close and a bounded drain of the
+        peer's already-sent bytes: closing with unread data pending can
+        degrade to an RST that destroys the BUSY frame in flight.
+        """
+        self.stats.add("sessions_shed")
+        self._note("shed %s: %s" % (peer, reason))
+        try:
+            writer.write(codec.encode_busy(self.busy_retry_ms))
+            await asyncio.wait_for(writer.drain(), _SHED_SEND_BUDGET_S)
+            if writer.can_write_eof():
+                writer.write_eof()
+            await asyncio.wait_for(reader.read(-1), _SHED_SEND_BUDGET_S)
+        except (OSError, asyncio.TimeoutError):
+            pass
+        except asyncio.CancelledError:
+            pass  # shutting down: the close below is all that matters
+        finally:
+            self._close_writer(writer)
+
+    def _close_writer(self, writer: asyncio.StreamWriter) -> None:
+        """Best-effort synchronous close of a stream writer."""
+        try:
+            writer.close()
+        except OSError:
+            pass

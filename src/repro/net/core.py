@@ -1,0 +1,385 @@
+"""Backend-neutral accounting and admission core for server front-ends.
+
+The repo now ships two connection front-ends for the selected-sum
+server: the thread-per-connection :class:`~repro.net.server.SpfeServer`
+and the event-loop :class:`~repro.net.aio.AsyncSpfeServer`.  Both must
+answer the same operational questions — how many sessions were served,
+dropped, shed, rejected; is the ``max_queries`` budget spent; when does
+a drain begin — and they must answer them *identically*, or the choice
+of ``--backend`` silently changes what the metrics mean.
+
+This module is the single implementation both front-ends delegate to:
+
+* :class:`ServerStats` — the named counters, each a thin view over a
+  ``repro_server_<field>_total`` registry counter;
+* :class:`ServerAccounting` — the query budget (admit / release /
+  atomic retire), the in-flight and active-connection gauges, the
+  per-connection deadline budget, and the one outcome-classification
+  path that turns a finished connection into exactly one of
+  served / dropped / rejected.
+
+The outcome invariant the test tier enforces on both backends::
+
+    sessions_served + sessions_dropped + sessions_rejected
+        == sessions_admitted        (once the server has drained)
+
+``sessions_admitted`` counts connections handed to the protocol layer
+(admission control passed); shed connections never enter the invariant.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.exceptions import ParameterError, TransportTimeout, ValidationError
+from repro.obs.registry import Counter, MetricsRegistry
+
+__all__ = [
+    "ServerAccounting",
+    "ServerStats",
+    "DEFAULT_DRAIN_DEADLINE_S",
+    "SERVER_BACKENDS",
+]
+
+DEFAULT_DRAIN_DEADLINE_S = 30.0
+
+#: how often blocking loops wake to check for drain (also the accept poll)
+_POLL_S = 0.1
+
+#: per-connection send budget for BUSY frames — small enough that even a
+#: flood of never-reading peers drains quickly
+_SHED_SEND_BUDGET_S = 0.05
+
+#: the front-ends selectable via ``serve --backend``
+SERVER_BACKENDS: Tuple[str, ...] = ("threads", "asyncio")
+
+#: prefix turning a ServerStats field into its registry metric name
+_METRIC_PREFIX = "repro_server_"
+
+#: built-in counters and their exposition help text
+_FIELD_HELP: Dict[str, str] = {
+    "connections_accepted": "TCP connections accepted by the listener.",
+    "sessions_admitted":
+        "Connections that passed admission control and were handed to "
+        "the protocol layer (served + dropped + rejected reconcile "
+        "against this at drain).",
+    "sessions_served": "Protocol runs served to completion.",
+    "sessions_dropped":
+        "Sessions lost to transport failures, peer disconnects, or "
+        "internal errors.",
+    "sessions_shed":
+        "Connections refused with a typed BUSY frame (admission control).",
+    "sessions_rejected": "Sessions answered with a typed ERROR frame.",
+    "validation_rejections":
+        "Rejected sessions that failed a trust-boundary or policy check.",
+    "sessions_errored_internal":
+        "Dropped sessions whose cause was a server-side internal error, "
+        "not the peer (also counted in sessions_dropped).",
+    "bytes_in": "Application bytes received across all sessions.",
+    "bytes_out": "Application bytes sent across all sessions.",
+}
+
+
+class ServerStats:
+    """Named per-server counters, backed by a metrics registry.
+
+    Historically this class kept its own closed dict of counters; it is
+    now a thin view over :class:`~repro.obs.registry.MetricsRegistry`
+    :class:`~repro.obs.registry.Counter` instruments (one
+    ``repro_server_<field>_total`` each), so the same numbers that
+    :meth:`snapshot` reports in-process are scraped from ``/metrics``
+    without a second bookkeeping path that could drift.  ``add``/``get``
+    still reject unknown names — accounting typos stay loud — but the
+    field set is open: :meth:`register` adds new counters.
+
+    ``sessions_admitted`` counts connections that passed admission
+    control; ``sessions_served`` counts completed protocol runs;
+    ``dropped`` is transport-level losses (timeouts, resets, budget
+    exhaustion), of which ``sessions_errored_internal`` were the
+    server's own fault; ``shed`` is admission-control rejections (BUSY);
+    ``rejected`` is sessions answered with a typed ERROR, of which
+    ``validation_rejections`` failed a trust-boundary or policy check.
+    Byte counters aggregate the per-session accounting.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._counters: Dict[str, Counter] = {}
+        for name, help_text in _FIELD_HELP.items():
+            self.register(name, help_text)
+
+    def register(self, name: str, help_text: str = "") -> Counter:
+        """Add (or fetch) the counter for ``name``; returns the instrument.
+
+        Call during setup, before concurrent ``add``/``get`` traffic:
+        the name->instrument map itself is not lock-guarded.
+        """
+        counter = self.metrics.counter(_METRIC_PREFIX + name + "_total", help_text)
+        self._counters[name] = counter
+        return counter
+
+    def add(self, name: str, amount: int = 1) -> int:
+        """Bump a counter; returns its new value."""
+        counter = self._counters.get(name)
+        if counter is None:
+            raise ParameterError("unknown counter %r" % name)
+        return counter.inc(amount)
+
+    def get(self, name: str) -> int:
+        """Read one counter."""
+        counter = self._counters.get(name)
+        if counter is None:
+            raise ParameterError("unknown counter %r" % name)
+        return counter.value
+
+    def snapshot(self) -> Dict[str, int]:
+        """A copy of all counters (one consistent read per counter)."""
+        return {name: counter.value for name, counter in self._counters.items()}
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary (printed on shutdown)."""
+        snap = self.snapshot()
+        return (
+            "sessions: %d served, %d dropped (%d internal), %d shed, "
+            "%d rejected (%d validation)\n"
+            "bytes: %d in, %d out (%d connections)"
+            % (
+                snap["sessions_served"],
+                snap["sessions_dropped"],
+                snap["sessions_errored_internal"],
+                snap["sessions_shed"],
+                snap["sessions_rejected"],
+                snap["validation_rejections"],
+                snap["bytes_in"],
+                snap["bytes_out"],
+                snap["connections_accepted"],
+            )
+        )
+
+
+class ServerAccounting:
+    """The admission, budget, and outcome bookkeeping both backends share.
+
+    One instance belongs to one server.  The front-end owns sockets and
+    concurrency (threads or an event loop); everything that must mean
+    the same thing regardless of front-end lives here:
+
+    * the ``max_queries`` budget — :meth:`admit_query_budget`,
+      :meth:`release_query_budget`, and the atomic :meth:`retire_session`
+      (served-bump and in-flight release under one ``_budget_lock``
+      acquisition, so an admission check can never observe a finishing
+      session in both totals);
+    * the in-flight / active-connection gauges plus a peak-concurrency
+      gauge the fleet tests assert ``max_sessions`` bounds against;
+    * :meth:`budgeted_timeout`, the per-read deadline under an optional
+      total ``connection_deadline_s`` wall-clock budget;
+    * :meth:`account_outcome`, the single classification path from a
+      finished connection to exactly one of served / dropped / rejected
+      (plus the byte totals and the ``sessions_errored_internal`` tag).
+
+    ``backend`` is exported as a ``repro_server_backend`` info gauge
+    (value 1, ``backend`` label) so a scrape can tell which front-end
+    produced the numbers.
+    """
+
+    def __init__(
+        self,
+        stats: ServerStats,
+        *,
+        metrics: MetricsRegistry,
+        max_queries: int = 0,
+        backend: str = "threads",
+        note: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if backend not in SERVER_BACKENDS:
+            raise ParameterError(
+                "unknown server backend %r (expected one of %s)"
+                % (backend, ", ".join(SERVER_BACKENDS))
+            )
+        self.stats = stats
+        self.max_queries = max_queries
+        self.backend = backend
+        self._note = note if note is not None else (lambda message: None)
+        self._budget_lock = threading.Lock()
+        #: admitted-but-unfinished sessions counted against max_queries
+        self._in_flight = 0
+        self._in_flight_gauge = metrics.gauge(
+            "repro_server_in_flight_sessions",
+            "Admitted sessions not yet retired (queued or being served).",
+        )
+        self._active_gauge = metrics.gauge(
+            "repro_server_active_connections",
+            "Connections currently attached to a worker.",
+        )
+        self._peak_lock = threading.Lock()
+        self._active_peak = 0
+        self._active_peak_gauge = metrics.gauge(
+            "repro_server_active_connections_peak",
+            "High-water mark of concurrently served connections.",
+        )
+        metrics.gauge(
+            "repro_server_backend",
+            "Info gauge: 1 for the connection front-end serving this "
+            "process (threads or asyncio).",
+            labels={"backend": backend},
+        ).set(1)
+
+    # -- query budget -------------------------------------------------------
+
+    def admit_query_budget(self) -> bool:
+        """Reserve an in-flight slot; False when max_queries is spent.
+
+        The budget counts served plus in-flight sessions, so admission
+        stops as soon as enough work to satisfy the budget has *started*
+        — extra clients are shed with BUSY and can retry, and a slot is
+        released if its session drops or is rejected.  In-flight is
+        tracked (and exported as a gauge) even without a budget.
+        """
+        with self._budget_lock:
+            if self.max_queries:
+                served = self.stats.get("sessions_served")
+                if served + self._in_flight >= self.max_queries:
+                    return False
+            self._in_flight += 1
+            self._in_flight_gauge.set(self._in_flight)
+            return True
+
+    def release_query_budget(self) -> None:
+        """Release an admitted slot that never became a served session."""
+        with self._budget_lock:
+            self._in_flight -= 1
+            self._in_flight_gauge.set(self._in_flight)
+
+    def retire_session(self, served: bool) -> bool:
+        """Atomically retire one admitted session; True = budget now met.
+
+        The ``sessions_served`` bump and the in-flight release happen
+        under the same ``_budget_lock`` acquisition that
+        :meth:`admit_query_budget` takes.  When they were two separate
+        steps, an admission check running between them saw the finishing
+        session counted in *both* ``served`` and in-flight and could
+        shed a connection the budget actually allowed (transient
+        double-count at the ``max_queries`` boundary).  The caller
+        initiates its drain when this returns True — the core holds no
+        reference to the front-end.
+        """
+        with self._budget_lock:
+            self._in_flight -= 1
+            self._in_flight_gauge.set(self._in_flight)
+            if served:
+                total = self.stats.add("sessions_served")
+                if self.max_queries and total >= self.max_queries:
+                    return True
+        return False
+
+    def in_flight(self) -> int:
+        """The current number of admitted-but-unretired sessions."""
+        with self._budget_lock:
+            return self._in_flight
+
+    # -- per-connection bookkeeping -----------------------------------------
+
+    def session_admitted(self) -> None:
+        """Count one connection handed to the protocol layer."""
+        self.stats.add("sessions_admitted")
+
+    def connection_attached(self) -> None:
+        """A connection is now actively being served; tracks the peak."""
+        active = int(self._active_gauge.inc())
+        with self._peak_lock:
+            if active > self._active_peak:
+                self._active_peak = active
+                self._active_peak_gauge.set(active)
+
+    def connection_detached(self) -> None:
+        """The active connection's worker/task let go of it."""
+        self._active_gauge.dec()
+
+    @property
+    def peak_active(self) -> int:
+        """High-water mark of concurrently served connections."""
+        with self._peak_lock:
+            return self._active_peak
+
+    def budgeted_timeout(
+        self,
+        started: float,
+        read_timeout: Optional[float],
+        connection_deadline_s: Optional[float],
+    ) -> Optional[float]:
+        """The next read's deadline under the connection budget.
+
+        Raises :class:`~repro.exceptions.TransportTimeout` once the
+        total wall-clock budget (when configured) is spent.
+        """
+        if connection_deadline_s is None:
+            return read_timeout
+        remaining = connection_deadline_s - (time.monotonic() - started)
+        if remaining <= 0:
+            raise TransportTimeout(
+                "connection exceeded its %.1fs budget" % connection_deadline_s
+            )
+        if read_timeout is None:
+            return remaining
+        return min(read_timeout, remaining)
+
+    # -- outcome classification ---------------------------------------------
+
+    def account_outcome(
+        self, session, outcome: str, peer: Tuple, detail: str
+    ) -> bool:
+        """Account one finished connection; True when served to completion.
+
+        ``outcome`` is the front-end's transport-level verdict:
+        ``"detached"`` (the session loop exited on its own terms),
+        ``"dropped"`` (a transport error or deadline cut it off), or
+        ``"internal"`` (a server-side bug).  Combined with the session's
+        own state this yields exactly one of served / dropped / rejected
+        — classification order matters:
+
+        1. internal errors are drops the server owns;
+        2. an errored session was answered (or at least owed) a typed
+           ERROR — it is rejected even if that final send failed;
+        3. a transport-level drop is a drop *even when the session
+           finished*: a RESULT the peer never received was not served
+           (this branch used to be unreachable behind ``finished``, so
+           a failed RESULT send vanished from every outcome counter);
+        4. a finished session whose transport survived was served;
+        5. anything else is a peer that went away mid-run.
+        """
+        self.stats.add("bytes_in", session.bytes_received)
+        self.stats.add("bytes_out", session.bytes_sent)
+        if outcome == "internal":
+            self.stats.add("sessions_dropped")
+            self.stats.add("sessions_errored_internal")
+            self._note("dropped %s: internal error: %s" % (peer, detail))
+            return False
+        if session.errored:
+            self.stats.add("sessions_rejected")
+            if isinstance(session.last_error, ValidationError):
+                self.stats.add("validation_rejections")
+            self._note("rejected %s: %s" % (peer, session.last_error))
+            return False
+        if outcome == "dropped":
+            self.stats.add("sessions_dropped")
+            if session.finished:
+                self._note(
+                    "dropped %s: result computed but never delivered: %s"
+                    % (peer, detail)
+                )
+            else:
+                self._note("dropped %s: %s" % (peer, detail))
+            return False
+        if session.finished:
+            self._note(
+                "served %s: %d bytes in, %d out"
+                % (peer, session.bytes_received, session.bytes_sent)
+            )
+            return True
+        # Clean EOF before completion: the peer went away mid-run (it
+        # may resume on a later connection).
+        self.stats.add("sessions_dropped")
+        self._note("dropped %s: peer closed mid-session" % (peer,))
+        return False

@@ -33,11 +33,17 @@ Architecture (all plain threads, no extra dependencies):
   still queued, lets in-flight sessions finish under a drain deadline,
   then force-closes stragglers.
 * **observability**: every counter lives in a
-  :class:`~repro.obs.registry.MetricsRegistry` (:class:`ServerStats` is
-  a thin view over it), phase latencies flow through a shared
-  :class:`~repro.obs.tracing.Tracer`, and ``stats_port=...`` opts into
-  a :class:`~repro.obs.http.StatsEndpoint` serving ``/metrics`` and
+  :class:`~repro.obs.registry.MetricsRegistry`
+  (:class:`~repro.net.core.ServerStats` is a thin view over it), phase
+  latencies flow through a shared :class:`~repro.obs.tracing.Tracer`,
+  and ``stats_port=...`` opts into a
+  :class:`~repro.obs.http.StatsEndpoint` serving ``/metrics`` and
   ``/healthz`` on a separate listener.
+
+The budget, gauge, and outcome bookkeeping is *not* implemented here:
+it lives in the backend-neutral :class:`~repro.net.core.ServerAccounting`
+shared with the asyncio front-end (:mod:`repro.net.aio`), so the two
+backends cannot drift in what their counters mean.
 """
 
 from __future__ import annotations
@@ -50,129 +56,24 @@ import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.datastore.database import ServerDatabase
-from repro.exceptions import (
-    ParameterError,
-    TransportError,
-    TransportTimeout,
-    ValidationError,
-)
+from repro.exceptions import ParameterError, TransportError
 from repro.net import codec
+from repro.net.core import (
+    DEFAULT_DRAIN_DEADLINE_S,
+    _POLL_S,
+    _SHED_SEND_BUDGET_S,
+    ServerAccounting,
+    ServerStats,
+)
 from repro.net.transport import DEFAULT_RECV_BYTES, SocketTransport
 from repro.obs.http import StatsEndpoint
-from repro.obs.registry import Counter, MetricsRegistry
+from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.spfe.session import ServerSession, SessionRegistry
 from repro.spfe.validation import ServerPolicy
 from repro.store.state import StateStore
 
 __all__ = ["ServerStats", "SpfeServer", "DEFAULT_DRAIN_DEADLINE_S"]
-
-DEFAULT_DRAIN_DEADLINE_S = 30.0
-
-#: how often blocking loops wake to check for drain (also the accept poll)
-_POLL_S = 0.1
-
-#: per-connection send budget for BUSY frames on the shed thread — small
-#: enough that even a flood of never-reading peers drains quickly
-_SHED_SEND_BUDGET_S = 0.05
-
-#: prefix turning a ServerStats field into its registry metric name
-_METRIC_PREFIX = "repro_server_"
-
-#: built-in counters and their exposition help text
-_FIELD_HELP: Dict[str, str] = {
-    "connections_accepted": "TCP connections accepted by the listener.",
-    "sessions_served": "Protocol runs served to completion.",
-    "sessions_dropped":
-        "Sessions lost to transport failures, peer disconnects, or "
-        "internal errors.",
-    "sessions_shed":
-        "Connections refused with a typed BUSY frame (admission control).",
-    "sessions_rejected": "Sessions answered with a typed ERROR frame.",
-    "validation_rejections":
-        "Rejected sessions that failed a trust-boundary or policy check.",
-    "sessions_errored_internal":
-        "Dropped sessions whose cause was a server-side internal error, "
-        "not the peer (also counted in sessions_dropped).",
-    "bytes_in": "Application bytes received across all sessions.",
-    "bytes_out": "Application bytes sent across all sessions.",
-}
-
-
-class ServerStats:
-    """Named per-server counters, backed by a metrics registry.
-
-    Historically this class kept its own closed dict of counters; it is
-    now a thin view over :class:`~repro.obs.registry.MetricsRegistry`
-    :class:`~repro.obs.registry.Counter` instruments (one
-    ``repro_server_<field>_total`` each), so the same numbers that
-    :meth:`snapshot` reports in-process are scraped from ``/metrics``
-    without a second bookkeeping path that could drift.  ``add``/``get``
-    still reject unknown names — accounting typos stay loud — but the
-    field set is open: :meth:`register` adds new counters.
-
-    ``sessions_served`` counts completed protocol runs; ``dropped`` is
-    transport-level losses (timeouts, resets, budget exhaustion), of
-    which ``sessions_errored_internal`` were the server's own fault;
-    ``shed`` is admission-control rejections (BUSY); ``rejected`` is
-    sessions answered with a typed ERROR, of which
-    ``validation_rejections`` failed a trust-boundary or policy check.
-    Byte counters aggregate the per-session accounting.
-    """
-
-    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self._counters: Dict[str, Counter] = {}
-        for name, help_text in _FIELD_HELP.items():
-            self.register(name, help_text)
-
-    def register(self, name: str, help_text: str = "") -> Counter:
-        """Add (or fetch) the counter for ``name``; returns the instrument.
-
-        Call during setup, before concurrent ``add``/``get`` traffic:
-        the name->instrument map itself is not lock-guarded.
-        """
-        counter = self.metrics.counter(_METRIC_PREFIX + name + "_total", help_text)
-        self._counters[name] = counter
-        return counter
-
-    def add(self, name: str, amount: int = 1) -> int:
-        """Bump a counter; returns its new value."""
-        counter = self._counters.get(name)
-        if counter is None:
-            raise ParameterError("unknown counter %r" % name)
-        return counter.inc(amount)
-
-    def get(self, name: str) -> int:
-        """Read one counter."""
-        counter = self._counters.get(name)
-        if counter is None:
-            raise ParameterError("unknown counter %r" % name)
-        return counter.value
-
-    def snapshot(self) -> Dict[str, int]:
-        """A copy of all counters (one consistent read per counter)."""
-        return {name: counter.value for name, counter in self._counters.items()}
-
-    def summary(self) -> str:
-        """Human-readable multi-line summary (printed on shutdown)."""
-        snap = self.snapshot()
-        return (
-            "sessions: %d served, %d dropped (%d internal), %d shed, "
-            "%d rejected (%d validation)\n"
-            "bytes: %d in, %d out (%d connections)"
-            % (
-                snap["sessions_served"],
-                snap["sessions_dropped"],
-                snap["sessions_errored_internal"],
-                snap["sessions_shed"],
-                snap["sessions_rejected"],
-                snap["validation_rejections"],
-                snap["bytes_in"],
-                snap["bytes_out"],
-                snap["connections_accepted"],
-            )
-        )
 
 
 class SpfeServer:
@@ -278,15 +179,14 @@ class SpfeServer:
         self.tracer = Tracer(registry=self.metrics)
         self.stats_port = stats_port
         self._stats_endpoint: Optional[StatsEndpoint] = None
-        self._in_flight_gauge = self.metrics.gauge(
-            "repro_server_in_flight_sessions",
-            "Admitted sessions not yet retired (queued or being served).",
-        )
-        self._active_gauge = self.metrics.gauge(
-            "repro_server_active_connections",
-            "Connections currently attached to a worker.",
-        )
         self._log = log
+        self._core = ServerAccounting(
+            self.stats,
+            metrics=self.metrics,
+            max_queries=max_queries,
+            backend="threads",
+            note=self._note,
+        )
         self._requested_port = port
         self._listener: Optional[socket.socket] = None
         self._queue: "queue.Queue[Optional[Tuple[socket.socket, Tuple]]]" = (
@@ -302,9 +202,6 @@ class SpfeServer:
         self._workers: List[threading.Thread] = []
         self._active_lock = threading.Lock()
         self._active: Dict[int, SocketTransport] = {}
-        self._budget_lock = threading.Lock()
-        #: admitted-but-unfinished sessions counted against max_queries
-        self._in_flight = 0
         self._drain = threading.Event()
         self._stopped = threading.Event()
         self._finalize_lock = threading.Lock()
@@ -314,36 +211,86 @@ class SpfeServer:
     # -- lifecycle ----------------------------------------------------------
 
     def start(self) -> "SpfeServer":
-        """Bind, then launch the accept loop, shed thread, and worker pool."""
+        """Bind, then launch the accept loop, shed thread, and worker pool.
+
+        Startup is transactional: a failure after the listener is bound
+        (the stats endpoint's port being taken is the realistic case)
+        unwinds whatever was brought up, closes the listener, and resets
+        ``_started`` — so the exception propagates from a server a
+        caller can fix and start again.  Before this, a stats-port
+        conflict left a bound-but-unserved listener leaking and a retry
+        died on "server already started".
+        """
         if self._started:
             raise ParameterError("server already started")
-        self._listener = socket.create_server(
-            (self.host, self._requested_port), backlog=self.accept_backlog
-        )
-        self._listener.settimeout(_POLL_S)
         self._started = True
-        if self.stats_port is not None:
-            self._stats_endpoint = StatsEndpoint(
-                self.metrics,
-                host=self.host,
-                port=self.stats_port,
-                health=self._health,
-            ).start()
-        self._shed_thread = threading.Thread(
-            target=self._shed_loop, name="spfe-shed", daemon=True
-        )
-        self._shed_thread.start()
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="spfe-accept", daemon=True
-        )
-        self._accept_thread.start()
-        for index in range(self.max_sessions):
-            worker = threading.Thread(
-                target=self._worker_loop, name="spfe-worker-%d" % index, daemon=True
+        try:
+            self._listener = socket.create_server(
+                (self.host, self._requested_port), backlog=self.accept_backlog
             )
-            worker.start()
-            self._workers.append(worker)
+            self._listener.settimeout(_POLL_S)
+            if self.stats_port is not None:
+                self._stats_endpoint = StatsEndpoint(
+                    self.metrics,
+                    host=self.host,
+                    port=self.stats_port,
+                    health=self._health,
+                ).start()
+            self._shed_thread = threading.Thread(
+                target=self._shed_loop, name="spfe-shed", daemon=True
+            )
+            self._shed_thread.start()
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="spfe-accept", daemon=True
+            )
+            self._accept_thread.start()
+            for index in range(self.max_sessions):
+                worker = threading.Thread(
+                    target=self._worker_loop, name="spfe-worker-%d" % index,
+                    daemon=True,
+                )
+                worker.start()
+                self._workers.append(worker)
+        except Exception:
+            self._abort_start()
+            raise
         return self
+
+    def _abort_start(self) -> None:
+        """Unwind a partially started server so ``start`` can be retried."""
+        self._drain.set()
+        if self._accept_thread is not None:
+            # the accept loop observes the drain flag, sheds its queue,
+            # and releases the workers and shed thread on its way out
+            self._accept_thread.join(timeout=5.0)
+        else:
+            for _ in self._workers:
+                self._queue.put(None)
+            try:
+                self._shed_queue.put_nowait(None)
+            except queue.Full:
+                pass
+        if self._shed_thread is not None:
+            self._shed_thread.join(timeout=5.0)
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._stats_endpoint is not None:
+            self._stats_endpoint.close()
+        # fresh runtime state: a corrected retry starts from scratch
+        self._listener = None
+        self._stats_endpoint = None
+        self._accept_thread = None
+        self._shed_thread = None
+        self._workers = []
+        self._queue = queue.Queue(maxsize=self.accept_backlog)
+        self._shed_queue = queue.Queue(maxsize=max(32, self.accept_backlog * 4))
+        self._drain = threading.Event()
+        self._started = False
 
     @property
     def port(self) -> int:
@@ -433,11 +380,9 @@ class SpfeServer:
             status = "draining"
         else:
             status = "ok"
-        with self._budget_lock:
-            in_flight = self._in_flight
         return {
             "status": status,
-            "in_flight_sessions": in_flight,
+            "in_flight_sessions": self._core.in_flight(),
             "workers_alive": sum(
                 1 for worker in self._workers if worker.is_alive()
             ),
@@ -470,9 +415,27 @@ class SpfeServer:
                     worker.join(timeout=5.0)
             if self._shed_thread is not None:
                 # The accept loop enqueues the sentinel on its way out; a
-                # second one covers the never-accepted edge and is inert.
-                self._shed_queue.put(None)
+                # second one covers the never-accepted edge.  It must be
+                # non-blocking: if the shed thread already exited on the
+                # first sentinel while a shed flood left the bounded
+                # queue full, a blocking put would wedge stop() forever.
+                try:
+                    self._shed_queue.put_nowait(None)
+                except queue.Full:
+                    pass
                 self._shed_thread.join(timeout=5.0)
+            # Anything still queued for a courtesy BUSY never got it —
+            # close the sockets instead of leaking them.
+            while True:
+                try:
+                    leftover = self._shed_queue.get_nowait()
+                except queue.Empty:
+                    break
+                if leftover is not None:
+                    try:
+                        leftover.close()
+                    except OSError:
+                        pass
             if self._listener is not None:
                 try:
                     self._listener.close()
@@ -497,47 +460,25 @@ class SpfeServer:
     def _admit_query_budget(self) -> bool:
         """Reserve an in-flight slot; False when max_queries is spent.
 
-        The budget counts served plus in-flight sessions, so admission
-        stops as soon as enough work to satisfy the budget has *started*
-        — extra clients are shed with BUSY and can retry, and a slot is
-        released if its session drops or is rejected.  In-flight is
-        tracked (and exported as a gauge) even without a budget.
+        Delegates to :meth:`ServerAccounting.admit_query_budget` — the
+        budget semantics are shared with the asyncio front-end.
         """
-        with self._budget_lock:
-            if self.max_queries:
-                served = self.stats.get("sessions_served")
-                if served + self._in_flight >= self.max_queries:
-                    return False
-            self._in_flight += 1
-            self._in_flight_gauge.set(self._in_flight)
-            return True
+        return self._core.admit_query_budget()
 
     def _release_query_budget(self) -> None:
         """Release an admitted slot that never became a served session."""
-        with self._budget_lock:
-            self._in_flight -= 1
-            self._in_flight_gauge.set(self._in_flight)
+        self._core.release_query_budget()
 
     def _retire_session(self, served: bool) -> None:
         """Atomically retire one admitted session, served or not.
 
-        The ``sessions_served`` bump and the in-flight release happen
-        under the same ``_budget_lock`` acquisition that
-        :meth:`_admit_query_budget` takes.  When they were two separate
-        steps, an admission check running between them saw the finishing
-        session counted in *both* ``served`` and in-flight and could
-        shed a connection the budget actually allowed (transient
-        double-count at the ``max_queries`` boundary).
+        :meth:`ServerAccounting.retire_session` bumps ``sessions_served``
+        and releases the in-flight slot under one lock acquisition (the
+        budget-boundary atomicity regression lives there); when it
+        reports the ``max_queries`` budget met, this front-end begins
+        its drain.
         """
-        drain = False
-        with self._budget_lock:
-            self._in_flight -= 1
-            self._in_flight_gauge.set(self._in_flight)
-            if served:
-                total = self.stats.add("sessions_served")
-                if self.max_queries and total >= self.max_queries:
-                    drain = True
-        if drain:
+        if self._core.retire_session(served):
             self.initiate_drain()
 
     def _accept_loop(self) -> None:
@@ -577,7 +518,15 @@ class SpfeServer:
             self._shed(connection, peer, "draining")
         for _ in self._workers:
             self._queue.put(None)
-        self._shed_queue.put(None)
+        # Non-blocking, like _finalize's sentinel: with the shed thread
+        # gone and the queue flooded, a blocking put would strand the
+        # accept thread here and stop() would burn its whole deadline
+        # joining it.  _finalize retries the sentinel and closes any
+        # leftovers either way.
+        try:
+            self._shed_queue.put_nowait(None)
+        except queue.Full:
+            pass
 
     def _shed(
         self,
@@ -615,10 +564,23 @@ class SpfeServer:
             self._send_busy(connection)
 
     def _send_busy(self, connection: socket.socket) -> None:
-        """Send one BUSY frame under the shed budget, then close."""
+        """Send one BUSY frame under the shed budget, then close.
+
+        The close is preceded by a half-close and a bounded drain of
+        whatever the peer already sent (its HELLO, typically).  Closing
+        with unread bytes in the receive buffer degrades to an RST,
+        which can destroy the in-flight BUSY frame before the peer
+        reads it — the peer then sees a connection reset and retries on
+        the (faster) crash schedule instead of the busy one.
+        """
         try:
             connection.settimeout(_SHED_SEND_BUDGET_S)
             connection.sendall(codec.encode_busy(self.busy_retry_ms))
+            connection.shutdown(socket.SHUT_WR)
+            deadline = time.monotonic() + _SHED_SEND_BUDGET_S
+            while time.monotonic() < deadline:
+                if not connection.recv(DEFAULT_RECV_BYTES):
+                    break
         except OSError:
             pass
         finally:
@@ -635,6 +597,11 @@ class SpfeServer:
             if item is None:
                 return
             connection, peer = item
+            # admitted = handed to the protocol layer; from here exactly
+            # one of served/dropped/rejected must be counted, even if
+            # _serve_connection itself is broken (the catch-all below),
+            # so the outcome invariant holds at drain.
+            self._core.session_admitted()
             served = False
             try:
                 served = self._serve_connection(connection, peer)
@@ -655,30 +622,17 @@ class SpfeServer:
             finally:
                 self._retire_session(served)
 
-    def _budgeted_timeout(self, started: float) -> Optional[float]:
-        """The next read's deadline under the connection budget."""
-        if self.connection_deadline_s is None:
-            return self.read_timeout
-        remaining = self.connection_deadline_s - (time.monotonic() - started)
-        if remaining <= 0:
-            raise TransportTimeout(
-                "connection exceeded its %.1fs budget" % self.connection_deadline_s
-            )
-        if self.read_timeout is None:
-            return remaining
-        return min(self.read_timeout, remaining)
-
     def _serve_connection(self, connection: socket.socket, peer: Tuple) -> bool:
         """Run one session on ``connection``; True when served to completion.
 
-        All byte and outcome accounting lives in the ``finally`` block.
-        It used to run *after* the try/finally, so a non-transport error
-        raised out of the session skipped it entirely: the worker-loop
-        catch-all counted a drop, but the session's bytes vanished from
-        the server totals (lost byte accounting on internal errors).
-        Now every exit path — served, rejected, dropped, internal error
-        — accounts its bytes, and internal errors are additionally
-        counted under ``sessions_errored_internal``.
+        All byte and outcome accounting lives in the ``finally`` block
+        and goes through :meth:`ServerAccounting.account_outcome`, which
+        classifies every exit path — served, rejected, dropped, internal
+        error — exactly once.  In particular a session that *finished*
+        but whose final RESULT send failed is a drop, not a serve: the
+        old inline classification checked ``session.finished`` first, so
+        that session was logged as served while no outcome counter moved
+        at all (the vanished-outcome bug).
         """
         session = ServerSession(
             self.database,
@@ -691,13 +645,18 @@ class SpfeServer:
         key = id(transport)
         with self._active_lock:
             self._active[key] = transport
-        self._active_gauge.inc()
+        self._core.connection_attached()
         started = time.monotonic()
         outcome = "detached"
         detail = ""
+        served = False
         try:
             while True:
-                transport.set_read_timeout(self._budgeted_timeout(started))
+                transport.set_read_timeout(
+                    self._core.budgeted_timeout(
+                        started, self.read_timeout, self.connection_deadline_s
+                    )
+                )
                 data = transport.recv(DEFAULT_RECV_BYTES)
                 if not data:
                     break  # peer closed; a resumable client will reconnect
@@ -717,29 +676,6 @@ class SpfeServer:
             transport.close()
             with self._active_lock:
                 self._active.pop(key, None)
-            self._active_gauge.dec()
-            self.stats.add("bytes_in", session.bytes_received)
-            self.stats.add("bytes_out", session.bytes_sent)
-            if outcome == "internal":
-                self.stats.add("sessions_dropped")
-                self.stats.add("sessions_errored_internal")
-                self._note("dropped %s: internal error: %s" % (peer, detail))
-            elif session.finished:
-                self._note(
-                    "served %s: %d bytes in, %d out"
-                    % (peer, session.bytes_received, session.bytes_sent)
-                )
-            elif session.errored:
-                self.stats.add("sessions_rejected")
-                if isinstance(session.last_error, ValidationError):
-                    self.stats.add("validation_rejections")
-                self._note("rejected %s: %s" % (peer, session.last_error))
-            elif outcome == "dropped":
-                self.stats.add("sessions_dropped")
-                self._note("dropped %s: %s" % (peer, detail))
-            else:
-                # Clean EOF before completion: the peer went away mid-run
-                # (it may resume on a later connection).
-                self.stats.add("sessions_dropped")
-                self._note("dropped %s: peer closed mid-session" % (peer,))
-        return outcome == "detached" and session.finished
+            self._core.connection_detached()
+            served = self._core.account_outcome(session, outcome, peer, detail)
+        return served

@@ -1,8 +1,11 @@
 """Concurrent-server integration suite: the ISSUE acceptance scenarios.
 
-One :class:`~repro.net.server.SpfeServer` faces a fleet of threaded
-clients — honest, malicious, slow, and silent — over real kernel
-sockets.  The suite asserts the hardening properties end to end:
+One server — each test runs against *both* connection front-ends, the
+threaded :class:`~repro.net.server.SpfeServer` and the event-loop
+:class:`~repro.net.aio.AsyncSpfeServer`, via the ``make_server``
+fixture — faces a fleet of threaded clients — honest, malicious, slow,
+and silent — over real kernel sockets.  The suite asserts the hardening
+properties end to end:
 
 * a mixed fleet never corrupts an honest answer: every honest client
   decrypts the exact selected sum while malicious peers get typed
@@ -12,7 +15,9 @@ sockets.  The suite asserts the hardening properties end to end:
   session byte quota) and the server keeps serving afterwards;
 * with the pool saturated, surplus clients receive BUSY and retry to
   completion through :func:`run_resilient`;
-* SIGTERM during active sessions drains them to completion.
+* SIGTERM during active sessions drains them to completion;
+* at drain, the outcome counters reconcile:
+  ``served + dropped + rejected == admitted``.
 """
 
 import os
@@ -30,7 +35,6 @@ from repro.datastore.workload import WorkloadGenerator
 from repro.exceptions import ReproError, ValidationError
 from repro.net import codec
 from repro.net.codec import FrameDecoder, FrameType
-from repro.net.server import SpfeServer
 from repro.net.transport import RetryPolicy, SocketTransport
 from repro.spfe.session import ClientSession, run_over_transport, run_resilient
 from repro.spfe.validation import ServerPolicy
@@ -107,7 +111,7 @@ def wait_for(predicate, timeout=JOIN_TIMEOUT):
 
 
 class TestMixedFleet:
-    def test_honest_malicious_and_silent_clients(self, workload):
+    def test_honest_malicious_and_silent_clients(self, workload, make_server):
         """Four honest, two malicious, one silent client, concurrently.
 
         Every honest client gets the exact sum; each malicious client is
@@ -115,7 +119,7 @@ class TestMixedFleet:
         dropped on deadline — and none of it disturbs the others.
         """
         database, selection, expected, keypair = workload
-        server = SpfeServer(
+        server = make_server(
             database,
             policy=POLICY,
             max_sessions=4,
@@ -253,11 +257,13 @@ def corpus(workload):
 
 
 class TestMalformedFrameCorpus:
-    def test_every_reject_path_is_typed_and_survivable(self, workload):
+    def test_every_reject_path_is_typed_and_survivable(
+        self, workload, make_server
+    ):
         """Each corpus entry earns its typed ERROR; the server then
         serves an honest client as if nothing happened."""
         database, selection, expected, _ = workload
-        server = SpfeServer(
+        server = make_server(
             database, policy=POLICY, max_sessions=2, read_timeout=READ_TIMEOUT
         ).start()
         try:
@@ -293,7 +299,7 @@ class TestMalformedFrameCorpus:
         finally:
             server.stop(drain_deadline_s=10.0)
 
-    def test_session_byte_quota_is_enforced(self, workload):
+    def test_session_byte_quota_is_enforced(self, workload, make_server):
         """A peer streaming more bytes than the per-session quota gets a
         typed POLICY error even though every individual frame is valid."""
         database, _, __, keypair = workload
@@ -303,7 +309,7 @@ class TestMalformedFrameCorpus:
             max_frame_payload=192,
             max_session_bytes=192,
         )
-        server = SpfeServer(
+        server = make_server(
             database, policy=quota_policy, read_timeout=READ_TIMEOUT
         ).start()
         try:
@@ -344,12 +350,12 @@ class TestMalformedFrameCorpus:
 
 
 class TestBusyRetry:
-    def test_shed_client_retries_to_completion(self, workload):
+    def test_shed_client_retries_to_completion(self, workload, make_server):
         """Acceptance: with the pool saturated, the surplus client gets
         BUSY and, through run_resilient's retry loop, still finishes
         with the exact answer once capacity frees up."""
         database, selection, expected, _ = workload
-        server = SpfeServer(
+        server = make_server(
             database,
             policy=POLICY,
             max_sessions=1,
@@ -411,12 +417,14 @@ class _SlowTransport:
 
 
 class TestSignalDrain:
-    def test_sigterm_drains_active_session_to_completion(self, workload):
+    def test_sigterm_drains_active_session_to_completion(
+        self, workload, make_server
+    ):
         """Acceptance: SIGTERM while a query is in flight stops the
         accept loop but lets the in-flight session finish; the client
         still gets the exact answer."""
         database, selection, expected, _ = workload
-        server = SpfeServer(
+        server = make_server(
             database, policy=POLICY, read_timeout=READ_TIMEOUT
         ).start()
         restore = server.install_signal_handlers()
@@ -461,3 +469,76 @@ class TestSignalDrain:
         # Guard for the fleet test's malicious branch: the wire-level
         # code constants map back onto the exception hierarchy.
         assert issubclass(ValidationError, ReproError)
+
+
+# -- outcome accounting -------------------------------------------------------
+
+
+class TestOutcomeInvariant:
+    def test_served_dropped_rejected_reconcile_with_admitted(
+        self, workload, make_server
+    ):
+        """At drain, every admitted session is in exactly one outcome
+        bucket: ``served + dropped + rejected == admitted``, in-flight
+        zero.  Drives all three outcome classes concurrently — honest
+        (served), malicious (rejected), silent (dropped on deadline) —
+        on both backends; a session that slips between counters (the
+        vanished-outcome family of bugs) breaks the equality.
+        """
+        database, selection, expected, _ = workload
+        server = make_server(
+            database,
+            policy=POLICY,
+            max_sessions=3,
+            accept_backlog=8,
+            read_timeout=1.0,
+        ).start()
+        port = server.port
+        results = {}
+        lock = threading.Lock()
+
+        def honest(tag):
+            client = make_client(selection, "inv-%s" % tag)
+            value = run_resilient(
+                client,
+                lambda: connect(port),
+                policy=RetryPolicy(max_attempts=8, base_delay_s=0.2),
+            )
+            with lock:
+                results[tag] = value
+
+        silent = socket.create_connection(("127.0.0.1", port), timeout=5.0)
+        malicious = socket.create_connection(("127.0.0.1", port), timeout=5.0)
+        threads = [
+            threading.Thread(target=honest, args=("h%d" % i,))
+            for i in range(3)
+        ]
+        try:
+            sid = b"\3" * codec.SESSION_ID_BYTES
+            malicious.sendall(codec.encode_hello(512, N, CHUNK, sid, 0))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=JOIN_TIMEOUT)
+                assert not thread.is_alive(), "client thread hung"
+            for i in range(3):
+                assert results["h%d" % i] == expected
+            # the silent client dies on its read deadline
+            assert wait_for(
+                lambda: server.stats.get("sessions_dropped") >= 1
+            ), "silent client never dropped"
+        finally:
+            silent.close()
+            malicious.close()
+            server.stop(drain_deadline_s=10.0)
+        snap = server.stats.snapshot()
+        assert snap["sessions_served"] == 3
+        assert snap["sessions_rejected"] == 1
+        assert snap["sessions_dropped"] >= 1
+        assert (
+            snap["sessions_served"]
+            + snap["sessions_dropped"]
+            + snap["sessions_rejected"]
+            == snap["sessions_admitted"]
+        ), snap
+        assert server._core.in_flight() == 0

@@ -1,0 +1,251 @@
+"""Unit tests for the asyncio connection front-end (`repro.net.aio`).
+
+The cross-backend behaviour — mixed fleets, malformed-frame corpus,
+BUSY retry, SIGTERM drain, crash recovery, outcome invariant — is
+covered by the parametrized suites (see ``tests/conftest.py``).  This
+module pins what is specific to :class:`AsyncSpfeServer`: the sync
+lifecycle facade over the loop thread, the asyncio result-send
+regression, the backend info gauge, and the headline scaling property
+(hundreds of concurrent clients over ``max_sessions`` slots).
+"""
+
+import json
+import socket
+import threading
+import urllib.request
+
+import pytest
+
+from repro.crypto.paillier import generate_keypair
+from repro.crypto.rng import DeterministicRandom
+from repro.datastore.workload import WorkloadGenerator
+from repro.exceptions import ParameterError, TransportError
+from repro.net.aio import AsyncSpfeServer
+from repro.net.codec import FrameDecoder, FrameType
+from repro.net.transport import RetryPolicy, SocketTransport
+from repro.spfe.session import ClientSession, run_resilient
+
+KEY_BITS = 128
+N = 20
+READ_TIMEOUT = 5.0
+
+
+@pytest.fixture(scope="module")
+def workload():
+    generator = WorkloadGenerator("aio-server-tests")
+    database = generator.database(N, value_bits=16)
+    selection = generator.random_selection(N, 6)
+    keypair = generate_keypair(KEY_BITS, DeterministicRandom("aio-keypair"))
+    return database, selection, keypair
+
+
+def make_client(selection, seed="c", keypair=None):
+    return ClientSession(
+        selection,
+        key_bits=KEY_BITS,
+        chunk_size=4,
+        rng=DeterministicRandom("aio-test-%s" % seed),
+        keypair=keypair,
+    )
+
+
+def connect(port, read_timeout=READ_TIMEOUT):
+    return SocketTransport.connect(
+        "127.0.0.1", port, connect_timeout=READ_TIMEOUT, read_timeout=read_timeout
+    )
+
+
+class TestAioLifecycle:
+    def test_bad_parameters_rejected(self, workload):
+        database, _, __ = workload
+        with pytest.raises(ParameterError):
+            AsyncSpfeServer(database, max_sessions=0)
+        with pytest.raises(ParameterError):
+            AsyncSpfeServer(database, accept_backlog=0)
+        with pytest.raises(ParameterError):
+            AsyncSpfeServer(database, max_queries=-1)
+
+    def test_port_requires_start(self, workload):
+        database, _, __ = workload
+        with pytest.raises(ParameterError):
+            AsyncSpfeServer(database).port
+
+    def test_double_start_rejected(self, workload):
+        database, _, __ = workload
+        server = AsyncSpfeServer(database).start()
+        try:
+            with pytest.raises(ParameterError):
+                server.start()
+        finally:
+            server.stop(drain_deadline_s=5.0)
+
+    def test_stop_is_idempotent(self, workload):
+        database, _, __ = workload
+        server = AsyncSpfeServer(database).start()
+        server.stop(drain_deadline_s=5.0)
+        server.stop(drain_deadline_s=5.0)
+        assert server.stopped
+
+    def test_refuses_connections_after_drain(self, workload):
+        database, _, __ = workload
+        server = AsyncSpfeServer(database).start()
+        port = server.port
+        server.stop(drain_deadline_s=5.0)
+        with pytest.raises(OSError):
+            socket.create_connection(("127.0.0.1", port), timeout=1.0)
+
+    def test_stats_port_conflict_unwinds_startup(self, workload):
+        """The transactional-startup fix holds on this front-end too:
+        a taken stats port must not leak the bound listener or leave
+        ``_started`` stuck True."""
+        database, selection, _ = workload
+        blocker = socket.create_server(("127.0.0.1", 0))
+        server = AsyncSpfeServer(database, stats_port=blocker.getsockname()[1])
+        try:
+            with pytest.raises(OSError):
+                server.start()
+            assert server._started is False
+            assert server._listener is None
+            with pytest.raises(ParameterError):
+                server.port
+        finally:
+            blocker.close()
+        server.stats_port = 0
+        server.start()
+        try:
+            client = make_client(selection, "post-conflict")
+            value = run_resilient(client, lambda: connect(server.port))
+            assert value == database.select_sum(selection)
+            assert server.stats_address[1] > 0
+        finally:
+            server.stop(drain_deadline_s=5.0)
+
+
+class TestAioOutcomeRegression:
+    def test_failed_result_send_is_a_drop_not_a_serve(
+        self, workload, monkeypatch
+    ):
+        """The asyncio twin of the vanished-outcome regression: the
+        session finishes its fold, the RESULT write fails, and the
+        session must land in the dropped bucket with the invariant
+        intact — never logged as served with no counter moved."""
+        database, selection, _ = workload
+        notes = []
+        server = AsyncSpfeServer(
+            database, max_sessions=1, read_timeout=READ_TIMEOUT,
+            log=notes.append,
+        ).start()
+        real_send = AsyncSpfeServer._send_reply
+
+        async def vanishing_send(self, writer, reply):
+            decoder = FrameDecoder()
+            decoder.feed(reply)
+            if any(
+                frame.frame_type == FrameType.RESULT
+                for frame in decoder.frames()
+            ):
+                raise TransportError("peer vanished before the result landed")
+            await real_send(self, writer, reply)
+
+        monkeypatch.setattr(AsyncSpfeServer, "_send_reply", vanishing_send)
+        client = make_client(selection, "vanishing-result")
+        sock = socket.create_connection(("127.0.0.1", server.port), timeout=5.0)
+        try:
+            for data in client.initial_bytes():
+                sock.sendall(data)
+            sock.settimeout(READ_TIMEOUT)
+            try:
+                while sock.recv(4096):
+                    pass  # drain until the server closes on us
+            except OSError:
+                pass
+        finally:
+            sock.close()
+            server.stop(drain_deadline_s=5.0)
+        snap = server.stats.snapshot()
+        assert snap["sessions_served"] == 0
+        assert snap["sessions_dropped"] == 1
+        assert snap["sessions_admitted"] == 1
+        assert (
+            snap["sessions_served"]
+            + snap["sessions_dropped"]
+            + snap["sessions_rejected"]
+            == snap["sessions_admitted"]
+        ), snap
+        assert any("never delivered" in note for note in notes), notes
+
+
+class TestAioObservability:
+    def test_backend_info_gauge_and_health(self, workload):
+        """A live asyncio server exports the backend info gauge on
+        /metrics and reports healthy on /healthz."""
+        database, selection, _ = workload
+        server = AsyncSpfeServer(database, stats_port=0).start()
+        try:
+            host, port = server.stats_address
+            base = "http://%s:%d" % (host, port)
+            with urllib.request.urlopen(base + "/metrics", timeout=5.0) as rsp:
+                text = rsp.read().decode()
+            assert 'repro_server_backend{backend="asyncio"} 1' in text
+            assert "repro_server_sessions_admitted_total" in text
+            with urllib.request.urlopen(base + "/healthz", timeout=5.0) as rsp:
+                health = json.load(rsp)
+            assert health["status"] == "ok"
+            # one loop thread, not a worker pool
+            assert health["workers_alive"] == 1
+        finally:
+            server.stop(drain_deadline_s=5.0)
+
+
+@pytest.mark.chaos
+class TestAioFleet:
+    def test_two_hundred_clients_over_eight_slots(self, workload):
+        """Acceptance: a 200-client fleet completes against
+        ``max_sessions=8`` with every sum exact, and the concurrency
+        high-water mark proves the semaphore actually bounded serving."""
+        database, selection, keypair = workload
+        expected = database.select_sum(selection)
+        server = AsyncSpfeServer(
+            database,
+            max_sessions=8,
+            accept_backlog=256,
+            read_timeout=15.0,
+        ).start()
+        port = server.port
+        results = {}
+        lock = threading.Lock()
+
+        def run_one(tag):
+            # the shared keypair keeps 200 clients cheap; each still
+            # encrypts its own selection vector
+            client = make_client(selection, "fleet-%d" % tag, keypair=keypair)
+            value = run_resilient(
+                client,
+                lambda: connect(port, read_timeout=15.0),
+                policy=RetryPolicy(max_attempts=10, base_delay_s=0.2),
+            )
+            with lock:
+                results[tag] = value
+
+        threads = [
+            threading.Thread(target=run_one, args=(tag,)) for tag in range(200)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+                assert not thread.is_alive(), "fleet client hung"
+        finally:
+            server.stop(drain_deadline_s=15.0)
+        assert len(results) == 200
+        assert all(value == expected for value in results.values())
+        snap = server.stats.snapshot()
+        assert snap["sessions_served"] == 200
+        assert server._core.peak_active <= 8
+        assert (
+            snap["sessions_served"]
+            + snap["sessions_dropped"]
+            + snap["sessions_rejected"]
+            == snap["sessions_admitted"]
+        ), snap

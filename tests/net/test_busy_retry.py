@@ -5,8 +5,8 @@ saturated, so re-entering on the crash-retry schedule just re-joins the
 stampede.  `RetryPolicy.busy_delay_s` backs off from a larger base and
 never sleeps less than the server's ``retry_after_ms`` hint; the
 regression half of this module drives a real ``max_queries``-saturated
-`SpfeServer` and asserts the shed client re-enters on that schedule and
-still completes.
+server (both front-ends, via ``make_server``) and asserts the shed
+client re-enters on that schedule and still completes.
 """
 
 import socket
@@ -16,7 +16,6 @@ import pytest
 
 from repro.crypto.rng import DeterministicRandom
 from repro.datastore.workload import WorkloadGenerator
-from repro.net.server import SpfeServer
 from repro.net.transport import RetryPolicy, SocketTransport
 from repro.spfe.session import ClientSession, run_resilient
 from repro.obs.registry import MetricsRegistry
@@ -82,14 +81,14 @@ class TestBusySchedule:
 
 class TestBusyRegression:
     def test_shed_client_retries_on_busy_schedule_and_completes(
-        self, workload
+        self, workload, make_server
     ):
         """One budget slot, held by a stalled connection: the second
         client is shed with BUSY, sleeps the busy schedule (floored at
         the server's hint), and wins the freed slot on retry."""
         database, selection = workload
         metrics = MetricsRegistry()
-        server = SpfeServer(
+        server = make_server(
             database,
             max_sessions=2,
             max_queries=1,

@@ -1,5 +1,6 @@
 """Unit tests for the concurrent server runtime (`repro.net.server`)."""
 
+import queue
 import socket
 import threading
 import time
@@ -8,7 +9,7 @@ import pytest
 
 from repro.crypto.rng import DeterministicRandom
 from repro.datastore.workload import WorkloadGenerator
-from repro.exceptions import ParameterError, ServerBusy
+from repro.exceptions import ParameterError, ServerBusy, TransportError
 from repro.net import codec
 from repro.net.codec import FrameDecoder, FrameType
 from repro.net.server import ServerStats, SpfeServer
@@ -500,3 +501,130 @@ class TestDeadlineBudget:
                 policy=RetryPolicy(max_attempts=2, base_delay_s=0.01),
             )
             assert value == database.select_sum(selection)
+
+
+class TestOutcomeAndShutdownRegressions:
+    """The three ISSUE bugfixes, each driven through its failure path."""
+
+    def test_failed_result_send_is_a_drop_not_a_serve(
+        self, workload, monkeypatch
+    ):
+        """Kill the connection between fold and result delivery: the
+        session *finished*, but the answer never reached the peer.  The
+        old classifier checked ``session.finished`` first, logged the
+        session as served, and moved **no** outcome counter at all (the
+        TransportError path only counted sessions it classified as
+        drops).  It must count as dropped — the client will retry — and
+        the outcome invariant must still reconcile."""
+        database, selection = workload
+        notes = []
+        server = SpfeServer(
+            database,
+            max_sessions=1,
+            read_timeout=READ_TIMEOUT,
+            log=notes.append,
+        ).start()
+        real_send = SocketTransport.send
+
+        def vanishing_send(transport, data):
+            decoder = FrameDecoder()
+            decoder.feed(data)
+            if any(
+                frame.frame_type == FrameType.RESULT
+                for frame in decoder.frames()
+            ):
+                raise TransportError("peer vanished before the result landed")
+            return real_send(transport, data)
+
+        monkeypatch.setattr(SocketTransport, "send", vanishing_send)
+        client = make_client(selection, "vanishing-result")
+        sock = socket.create_connection(("127.0.0.1", server.port), timeout=5.0)
+        try:
+            for data in client.initial_bytes():
+                sock.sendall(data)
+            sock.settimeout(READ_TIMEOUT)
+            try:
+                while sock.recv(4096):
+                    pass  # drain until the server closes on us
+            except OSError:
+                pass  # reset instead of EOF: same outcome
+        finally:
+            sock.close()
+            server.stop(drain_deadline_s=5.0)
+        snap = server.stats.snapshot()
+        assert snap["sessions_served"] == 0
+        assert snap["sessions_dropped"] == 1
+        assert snap["sessions_admitted"] == 1
+        assert (
+            snap["sessions_served"]
+            + snap["sessions_dropped"]
+            + snap["sessions_rejected"]
+            == snap["sessions_admitted"]
+        ), snap
+        assert any("never delivered" in note for note in notes), notes
+
+    def test_stats_port_conflict_unwinds_startup(self, workload):
+        """`start()` dies on a taken stats port *after* the main
+        listener is bound.  The failure used to leave ``_started`` stuck
+        True with the listener leaked, so the caller could neither reach
+        the server nor start it again.  Startup must unwind completely
+        and the same object must start cleanly once the conflict is
+        resolved."""
+        database, selection = workload
+        blocker = socket.create_server(("127.0.0.1", 0))
+        server = SpfeServer(database, stats_port=blocker.getsockname()[1])
+        try:
+            with pytest.raises(OSError):
+                server.start()
+            assert server._started is False
+            assert server._listener is None
+            with pytest.raises(ParameterError):
+                server.port  # no half-bound listener leaks
+        finally:
+            blocker.close()
+        server.stats_port = 0  # conflict fixed: retry must work
+        server.start()
+        try:
+            client = make_client(selection, "post-conflict")
+            value = run_resilient(client, lambda: connect(server.port))
+            assert value == database.select_sum(selection)
+            assert server.stats_address[1] > 0
+        finally:
+            server.stop(drain_deadline_s=5.0)
+
+    def test_shed_flood_with_dead_shed_thread_cannot_wedge_stop(
+        self, workload
+    ):
+        """Shed thread gone (here: fed a stray sentinel), bounded shed
+        queue flooded: ``stop()`` used to block forever on its blocking
+        sentinel put.  It must return under the deadline and close every
+        socket stranded in the queue."""
+        database, _ = workload
+        server = SpfeServer(database, accept_backlog=1).start()
+        server._shed_queue.put(None)
+        server._shed_thread.join(timeout=5.0)
+        assert not server._shed_thread.is_alive()
+        pairs = []
+        while True:
+            left, right = socket.socketpair()
+            try:
+                server._shed_queue.put_nowait(left)
+            except queue.Full:
+                left.close()
+                right.close()
+                break
+            pairs.append((left, right))
+        assert pairs, "shed queue accepted nothing; flood never happened"
+        stopped = threading.Event()
+
+        def stop_server():
+            server.stop(drain_deadline_s=1.0)
+            stopped.set()
+
+        stopper = threading.Thread(target=stop_server, daemon=True)
+        stopper.start()
+        assert stopped.wait(10.0), "stop() wedged on the flooded shed queue"
+        stopper.join(timeout=5.0)
+        for left, right in pairs:
+            assert left.fileno() == -1, "queued socket leaked across stop()"
+            right.close()
